@@ -1,0 +1,144 @@
+// Command minidb is an interactive shell over the embedded engine with
+// SQLCM monitoring attached — handy for poking at the SQL dialect and for
+// demonstrating rules interactively.
+//
+//	$ minidb
+//	minidb> CREATE TABLE t (id INT PRIMARY KEY, v FLOAT);
+//	minidb> INSERT INTO t VALUES (1, 2.5), (2, 7.25);
+//	minidb> SELECT * FROM t WHERE v > 3;
+//
+// Meta commands:
+//
+//	\lats            list registered LATs
+//	\lat NAME        print a LAT's rows
+//	\rules           list registered rules
+//	\active          show executing statements
+//	\quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlcm"
+)
+
+func main() {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer db.Close()
+	sess := db.Session(currentUser(), "minidb")
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+	fmt.Println("minidb — embedded SQL engine with SQLCM monitoring (\\quit to exit)")
+	var buf strings.Builder
+	prompt := "minidb> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.HasSuffix(trimmed, ";") && trimmed != "" {
+			prompt = "   ...> "
+			continue
+		}
+		prompt = "minidb> "
+		sql := strings.TrimSpace(buf.String())
+		buf.Reset()
+		if sql == "" || sql == ";" {
+			continue
+		}
+		res, err := sess.Exec(strings.TrimSuffix(sql, ";"), nil)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func currentUser() string {
+	if u := os.Getenv("USER"); u != "" {
+		return u
+	}
+	return "minidb"
+}
+
+func printResult(res *sqlcm.Result) {
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	if res.Columns == nil {
+		fmt.Printf("ok (%d rows affected)\n", res.Affected)
+		return
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+// meta handles backslash commands; returns false to exit.
+func meta(db *sqlcm.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\lats":
+		for _, n := range db.Monitor().LATs() {
+			fmt.Println(n)
+		}
+	case "\\lat":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\lat NAME")
+			break
+		}
+		t, ok := db.LAT(fields[1])
+		if !ok {
+			fmt.Println("no such LAT")
+			break
+		}
+		fmt.Println(strings.Join(t.Spec().Columns(), " | "))
+		for _, row := range t.Rows() {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+	case "\\rules":
+		for _, n := range db.Monitor().Rules().Rules() {
+			fmt.Println(n)
+		}
+	case "\\active":
+		for _, q := range db.ActiveQueries() {
+			fmt.Printf("#%d %s/%s %s (%s)\n", q.ID, q.User, q.App, q.Text, q.Elapsed)
+		}
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+// Resource governing (Example 5, §3 of the paper): a Timer-driven watchdog
+// rule iterates over all executing statements and cancels any that exceed
+// a runtime budget — a server-side action no client-side monitoring tool
+// can take.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sqlcm"
+)
+
+func main() {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	setup := db.Session("admin", "setup")
+	mustExec(setup, "CREATE TABLE jobs (id INT PRIMARY KEY, state VARCHAR)")
+	for i := 1; i <= 500; i++ {
+		mustExec(setup, fmt.Sprintf("INSERT INTO jobs VALUES (%d, 'queued')", i))
+	}
+
+	// Watchdog: every 50ms, look at all active Query objects; cancel any
+	// running longer than 250ms, and notify the DBA.
+	if _, err := db.NewRule("governor", "Timer.Alarm", "Query.Duration > 0.25",
+		&sqlcm.SendMailAction{Address: "dba@example.com",
+			Text: "cancelling runaway query {Query.ID} of {Query.User} after {Query.Duration}s"},
+		&sqlcm.CancelAction{Class: "Query"},
+	); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.SetTimer("watchdog", 50*time.Millisecond, -1); err != nil {
+		log.Fatal(err)
+	}
+
+	// The "runaway": a statement stuck behind a long transaction's lock.
+	blocker := db.Session("batch", "bulk-update")
+	mustExec(blocker, "BEGIN")
+	mustExec(blocker, "UPDATE jobs SET state = 'running' WHERE id = 1")
+
+	victim := db.Session("analyst", "dashboard")
+	start := time.Now()
+	_, err = victim.Exec("SELECT COUNT(*) FROM jobs", nil)
+	elapsed := time.Since(start)
+	mustExec(blocker, "COMMIT")
+
+	if err != nil {
+		fmt.Printf("runaway query cancelled by the governor after %v: %v\n", elapsed.Round(time.Millisecond), err)
+	} else {
+		fmt.Println("query survived (governor too slow?)")
+	}
+	mailer := db.Monitor().Mailer().(*sqlcm.MemMailer)
+	for _, m := range mailer.Sent() {
+		fmt.Printf("mail to %s: %s\n", m.Addr, m.Body)
+	}
+}
+
+func mustExec(sess *sqlcm.Session, sql string) {
+	if _, err := sess.Exec(sql, nil); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

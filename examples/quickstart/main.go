@@ -1,0 +1,73 @@
+// Quickstart: open a monitored database, declare one LAT and one rule
+// (the slow-query persist rule from §2.3 of the paper), run some SQL, and
+// inspect what the monitor collected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sqlcm"
+)
+
+func main() {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A LAT grouping all statements by their logical signature (i.e. by
+	// query template) with execution statistics per template.
+	if _, err := db.DefineLAT(sqlcm.LATSpec{
+		Name:    "ByTemplate",
+		GroupBy: []string{"Logical_Signature"},
+		Aggs: []sqlcm.AggCol{
+			{Func: sqlcm.Count, Name: "N"},
+			{Func: sqlcm.Avg, Attr: "Duration", Name: "Avg_Duration"},
+			{Func: sqlcm.Max, Attr: "Duration", Name: "Max_Duration"},
+			{Func: sqlcm.First, Attr: "Query_Text", Name: "Sample"},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Rule: fold every committed statement into the LAT.
+	if _, err := db.NewRule("collect", "Query.Commit", "",
+		&sqlcm.InsertAction{LAT: "ByTemplate"}); err != nil {
+		log.Fatal(err)
+	}
+	// Rule: persist any statement slower than 100 seconds — the paper's
+	// §2.3 example, verbatim.
+	if _, err := db.NewRule("slow", "Query.Commit", "Query.Duration > 100",
+		&sqlcm.PersistAction{Table: "slow_queries", Attrs: []string{"ID", "Query_Text", "Duration"}},
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ordinary application work.
+	sess := db.Session("alice", "quickstart")
+	mustExec(sess, "CREATE TABLE accounts (id INT PRIMARY KEY, owner VARCHAR NOT NULL, balance FLOAT)")
+	for i := 1; i <= 100; i++ {
+		mustExec(sess, fmt.Sprintf("INSERT INTO accounts VALUES (%d, 'user%d', %d.0)", i, i%7, i*10))
+	}
+	for i := 1; i <= 50; i++ {
+		mustExec(sess, fmt.Sprintf("SELECT balance FROM accounts WHERE id = %d", i))
+	}
+	mustExec(sess, "SELECT owner, SUM(balance) FROM accounts GROUP BY owner")
+
+	// What did the monitor see?
+	lt, _ := db.LAT("ByTemplate")
+	fmt.Println("query templates observed (grouped by logical signature):")
+	fmt.Println()
+	for _, row := range lt.Rows() {
+		// Columns: Logical_Signature, N, Avg_Duration, Max_Duration, Sample.
+		fmt.Printf("  %4s x%-4d avg=%8.1fus  %.60s\n",
+			row[0].Str()[:4], row[1].Int(), row[2].Float()*1e6, row[4].Str())
+	}
+}
+
+func mustExec(sess *sqlcm.Session, sql string) {
+	if _, err := sess.Exec(sql, nil); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

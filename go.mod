@@ -1,0 +1,3 @@
+module sqlcm
+
+go 1.22

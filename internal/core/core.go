@@ -1,0 +1,562 @@
+// Package core wires SQLCM together: it attaches to the database engine's
+// instrumentation hooks, assembles monitored objects from probes, and
+// drives the rule engine — all synchronously inside the server's execution
+// paths, exactly as the paper's architecture (Figure 1) prescribes. It also
+// owns the LAT registry, the timer manager, and the engine-side
+// implementations of the rule actions (Persist, SendMail, RunExternal,
+// Cancel, Set).
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlcm/internal/catalog"
+	"sqlcm/internal/engine"
+	"sqlcm/internal/lat"
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/rules"
+	"sqlcm/internal/sqltypes"
+)
+
+// Mailer delivers SendMail actions. The in-process default records mail in
+// memory (see MemMailer); production embeddings plug in SMTP or pagers.
+type Mailer interface {
+	Send(addr, body string) error
+}
+
+// Runner launches RunExternal actions. The in-process default records the
+// command lines (see MemRunner).
+type Runner interface {
+	Run(cmd string) error
+}
+
+// MemMailer is an in-memory Mailer that records sent mail.
+type MemMailer struct {
+	mu   sync.Mutex
+	sent []Mail
+}
+
+// Mail is one recorded message.
+type Mail struct {
+	Addr string
+	Body string
+	At   time.Time
+}
+
+// Send implements Mailer.
+func (m *MemMailer) Send(addr, body string) error {
+	m.mu.Lock()
+	m.sent = append(m.sent, Mail{Addr: addr, Body: body, At: time.Now()})
+	m.mu.Unlock()
+	return nil
+}
+
+// Sent returns the recorded messages.
+func (m *MemMailer) Sent() []Mail {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Mail(nil), m.sent...)
+}
+
+// MemRunner is an in-memory Runner that records command lines.
+type MemRunner struct {
+	mu   sync.Mutex
+	cmds []string
+}
+
+// Run implements Runner.
+func (r *MemRunner) Run(cmd string) error {
+	r.mu.Lock()
+	r.cmds = append(r.cmds, cmd)
+	r.mu.Unlock()
+	return nil
+}
+
+// Commands returns the recorded command lines.
+func (r *MemRunner) Commands() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.cmds...)
+}
+
+// Options configures an SQLCM instance.
+type Options struct {
+	// Mailer handles SendMail actions (default: MemMailer).
+	Mailer Mailer
+	// Runner handles RunExternal actions (default: MemRunner).
+	Runner Runner
+}
+
+// SQLCM is the continuous-monitoring framework attached to one engine.
+type SQLCM struct {
+	eng     *engine.Engine
+	ruleEng *rules.Engine
+	timers  *rules.TimerManager
+	sigs    *monitor.SigCache
+	txns    *monitor.TxnTracker
+	mailer  Mailer
+	runner  Runner
+
+	latMu sync.RWMutex
+	lats  map[string]*lat.Table
+
+	attached atomic.Bool
+
+	// event counters, for the experiments
+	events atomic.Int64
+}
+
+// Attach creates an SQLCM instance and installs it into the engine's hook
+// points. Monitoring overhead is incurred only for events some rule
+// listens on.
+func Attach(eng *engine.Engine, opts Options) *SQLCM {
+	s := &SQLCM{
+		eng:    eng,
+		sigs:   monitor.NewSigCache(),
+		txns:   monitor.NewTxnTracker(),
+		lats:   make(map[string]*lat.Table),
+		mailer: opts.Mailer,
+		runner: opts.Runner,
+	}
+	if s.mailer == nil {
+		s.mailer = &MemMailer{}
+	}
+	if s.runner == nil {
+		s.runner = &MemRunner{}
+	}
+	s.ruleEng = rules.NewEngine((*env)(s))
+	s.timers = rules.NewTimerManager(s.ruleEng)
+	eng.SetHooks((*hooks)(s))
+	s.attached.Store(true)
+	return s
+}
+
+// Detach removes SQLCM from the engine (no monitoring overhead remains)
+// and stops all timers.
+func (s *SQLCM) Detach() {
+	if !s.attached.Swap(false) {
+		return
+	}
+	s.eng.SetHooks(nil)
+	s.timers.Close()
+}
+
+// Suspend temporarily removes the hook set without tearing down rules,
+// LATs or timers; Resume reinstalls it. Used to interleave monitored and
+// unmonitored measurement windows.
+func (s *SQLCM) Suspend() { s.eng.SetHooks(nil) }
+
+// Resume reinstalls the hook set after Suspend.
+func (s *SQLCM) Resume() { s.eng.SetHooks((*hooks)(s)) }
+
+// Engine returns the monitored engine.
+func (s *SQLCM) Engine() *engine.Engine { return s.eng }
+
+// Rules exposes the rule engine.
+func (s *SQLCM) Rules() *rules.Engine { return s.ruleEng }
+
+// Timers exposes the timer manager.
+func (s *SQLCM) Timers() *rules.TimerManager { return s.timers }
+
+// Mailer returns the configured mailer.
+func (s *SQLCM) Mailer() Mailer { return s.mailer }
+
+// Runner returns the configured runner.
+func (s *SQLCM) Runner() Runner { return s.runner }
+
+// SigComputes reports how many signature computations (cache misses) have
+// occurred.
+func (s *SQLCM) SigComputes() int64 { return s.sigs.Computes() }
+
+// Events reports how many monitored events were dispatched to rules.
+func (s *SQLCM) Events() int64 { return s.events.Load() }
+
+// ---------------------------------------------------------------------------
+// LAT management
+// ---------------------------------------------------------------------------
+
+// DefineLAT registers a new aggregation table. Evicted rows are exposed as
+// LATRow.Evicted events (§4.3).
+func (s *SQLCM) DefineLAT(spec lat.Spec) (*lat.Table, error) {
+	table, err := lat.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.latMu.Lock()
+	if _, ok := s.lats[spec.Name]; ok {
+		s.latMu.Unlock()
+		return nil, fmt.Errorf("core: LAT %q already defined", spec.Name)
+	}
+	s.lats[spec.Name] = table
+	s.latMu.Unlock()
+	// Evicted-row snapshots cost time on every eviction, so the hook is
+	// only installed while some rule listens on LATRow.Evicted.
+	if s.ruleEng.HasRulesFor(monitor.EvLATRowEvicted) {
+		s.installEvictHook(table)
+	}
+	return table, nil
+}
+
+// installEvictHook exposes a LAT's evicted rows as LATRow.Evicted events.
+func (s *SQLCM) installEvictHook(table *lat.Table) {
+	table.SetOnEvict(func(row lat.EvictedRow) {
+		if !s.ruleEng.HasRulesFor(monitor.EvLATRowEvicted) {
+			return
+		}
+		obj := &monitor.LATRowObject{LAT: row.Table, Columns: row.Columns, Values: row.Values}
+		s.ruleEng.Dispatch(monitor.EvLATRowEvicted, map[string]monitor.Object{
+			monitor.ClassLATRow: obj,
+		})
+	})
+}
+
+// ensureEvictHooks installs eviction hooks on every LAT (called when a
+// LATRow.Evicted rule appears).
+func (s *SQLCM) ensureEvictHooks() {
+	s.latMu.RLock()
+	tables := make([]*lat.Table, 0, len(s.lats))
+	for _, t := range s.lats {
+		tables = append(tables, t)
+	}
+	s.latMu.RUnlock()
+	for _, t := range tables {
+		s.installEvictHook(t)
+	}
+}
+
+// DropLAT removes a LAT.
+func (s *SQLCM) DropLAT(name string) bool {
+	s.latMu.Lock()
+	defer s.latMu.Unlock()
+	if _, ok := s.lats[name]; !ok {
+		return false
+	}
+	delete(s.lats, name)
+	return true
+}
+
+// LAT returns a registered LAT.
+func (s *SQLCM) LAT(name string) (*lat.Table, bool) {
+	s.latMu.RLock()
+	defer s.latMu.RUnlock()
+	t, ok := s.lats[name]
+	return t, ok
+}
+
+// LATs returns the registered LAT names.
+func (s *SQLCM) LATs() []string {
+	s.latMu.RLock()
+	defer s.latMu.RUnlock()
+	out := make([]string, 0, len(s.lats))
+	for n := range s.lats {
+		out = append(out, n)
+	}
+	return out
+}
+
+// PersistLAT writes the LAT's current rows (plus a timestamp column) to a
+// disk-resident table, creating it on first use (§4.3).
+func (s *SQLCM) PersistLAT(name, table string) error {
+	t, ok := s.LAT(name)
+	if !ok {
+		return fmt.Errorf("core: unknown LAT %q", name)
+	}
+	cols := t.Spec().Columns()
+	for _, row := range t.Rows() {
+		if err := (*env)(s).Persist(table, cols, kindsOf(row), row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadLAT folds the contents of a previously persisted table back into the
+// LAT, carrying monitoring state across server restarts (§4.3). The
+// trailing timestamp column added by Persist is dropped.
+func (s *SQLCM) LoadLAT(name, table string) error {
+	t, ok := s.LAT(name)
+	if !ok {
+		return fmt.Errorf("core: unknown LAT %q", name)
+	}
+	rows, err := s.eng.ReadTableDirect(table)
+	if err != nil {
+		return err
+	}
+	want := len(t.Spec().Columns())
+	trimmed := make([][]sqltypes.Value, 0, len(rows))
+	for _, r := range rows {
+		if len(r) == want+1 {
+			r = r[:want] // drop the timestamp column
+		}
+		trimmed = append(trimmed, r)
+	}
+	return t.Load(trimmed)
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+// AddRule registers a fully constructed rule.
+func (s *SQLCM) AddRule(r *rules.Rule) error {
+	if err := s.ruleEng.AddRule(r); err != nil {
+		return err
+	}
+	if r.Event == monitor.EvLATRowEvicted {
+		s.ensureEvictHooks()
+	}
+	return nil
+}
+
+// NewRule builds and registers a rule from its textual event and condition
+// (the declarative form of §2.3): event "Class.Name", condition per §5.2
+// (empty = always true), followed by the action list.
+func (s *SQLCM) NewRule(name, event, condition string, actions ...rules.Action) (*rules.Rule, error) {
+	ev, err := monitor.ParseEvent(event)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := rules.ParseCondition(condition)
+	if err != nil {
+		return nil, err
+	}
+	r := &rules.Rule{Name: name, Event: ev, Condition: cond, Actions: actions}
+	if err := s.AddRule(r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RemoveRule unregisters a rule.
+func (s *SQLCM) RemoveRule(name string) bool { return s.ruleEng.RemoveRule(name) }
+
+// ---------------------------------------------------------------------------
+// rules.Env implementation
+// ---------------------------------------------------------------------------
+
+// env adapts SQLCM to the rule engine's environment interface.
+type env SQLCM
+
+func (e *env) LAT(name string) (*lat.Table, bool) { return (*SQLCM)(e).LAT(name) }
+
+// Persist implements rules.Env: rows go to a disk-resident table with an
+// extra timestamp column, the table being created on first use.
+func (e *env) Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error {
+	s := (*SQLCM)(e)
+	if _, err := s.eng.Catalog().Table(table); err != nil {
+		defs := make([]catalog.Column, 0, len(cols)+1)
+		for i, c := range cols {
+			k := kinds[i]
+			if k == sqltypes.KindNull {
+				k = sqltypes.KindString
+			}
+			defs = append(defs, catalog.Column{Name: c, Type: k})
+		}
+		defs = append(defs, catalog.Column{Name: "sqlcm_ts", Type: sqltypes.KindTime})
+		if err := s.eng.CreateTable(table, defs); err != nil {
+			// Lost a creation race: proceed if the table now exists.
+			if _, err2 := s.eng.Catalog().Table(table); err2 != nil {
+				return err
+			}
+		}
+	}
+	full := make([]sqltypes.Value, 0, len(row)+1)
+	full = append(full, row...)
+	full = append(full, sqltypes.NewTime(time.Now()))
+	return s.eng.InsertRowDirect(table, full)
+}
+
+func (e *env) SendMail(addr, body string) error { return (*SQLCM)(e).mailer.Send(addr, body) }
+
+func (e *env) RunExternal(cmd string) error { return (*SQLCM)(e).runner.Run(cmd) }
+
+func (e *env) CancelQuery(id int64) bool { return (*SQLCM)(e).eng.CancelQuery(id) }
+
+func (e *env) SetTimer(name string, period time.Duration, count int) error {
+	return (*SQLCM)(e).timers.Set(name, period, count)
+}
+
+func (e *env) ActiveQueryObjects() []monitor.Object {
+	s := (*SQLCM)(e)
+	infos := s.eng.ActiveQueryInfos()
+	out := make([]monitor.Object, 0, len(infos))
+	for _, qi := range infos {
+		out = append(out, monitor.NewQueryObject(qi, s.sigs.For(qi)))
+	}
+	return out
+}
+
+// BlockPairObjects traverses the lock-wait graph (piggybacking on the lock
+// manager's snapshot, §6.1) and materializes Blocker/Blocked object pairs.
+func (e *env) BlockPairObjects() [][2]monitor.Object {
+	s := (*SQLCM)(e)
+	pairs := s.eng.Locks().BlockSnapshot()
+	out := make([][2]monitor.Object, 0, len(pairs))
+	now := time.Now()
+	for _, p := range pairs {
+		holder, ok1 := s.eng.QueryInfoForTxn(p.Blocker)
+		waiter, ok2 := s.eng.QueryInfoForTxn(p.Blocked)
+		if !ok1 || !ok2 {
+			continue
+		}
+		out = append(out, [2]monitor.Object{
+			monitor.NewBlockerObject(holder, s.sigs.For(holder)),
+			monitor.NewBlockedObject(waiter, s.sigs.For(waiter), now.Sub(p.Since)),
+		})
+	}
+	return out
+}
+
+func kindsOf(row []sqltypes.Value) []sqltypes.Kind {
+	out := make([]sqltypes.Kind, len(row))
+	for i, v := range row {
+		out[i] = v.Kind()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// engine.Hooks implementation
+// ---------------------------------------------------------------------------
+
+// hooks adapts SQLCM to the engine's instrumentation interface. Every
+// callback runs synchronously in the engine thread that raised it.
+type hooks SQLCM
+
+func (h *hooks) dispatch(ev monitor.Event, objs map[string]monitor.Object) {
+	s := (*SQLCM)(h)
+	s.events.Add(1)
+	s.ruleEng.Dispatch(ev, objs)
+}
+
+func (h *hooks) QueryStart(q *engine.QueryInfo) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasRulesFor(monitor.EvQueryStart) {
+		return
+	}
+	obj := monitor.NewQueryObject(q, nil)
+	h.dispatch(monitor.EvQueryStart, map[string]monitor.Object{monitor.ClassQuery: obj})
+}
+
+func (h *hooks) QueryCompiled(q *engine.QueryInfo) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasAnyRules() {
+		return // no rules: not even signatures are computed (§2.1)
+	}
+	// Signatures are computed (or fetched from the plan-side cache) here,
+	// mirroring the paper: computed during optimization, cached with the
+	// plan.
+	sig := s.sigs.For(q)
+	if !s.ruleEng.HasRulesFor(monitor.EvQueryCompile) {
+		return
+	}
+	obj := monitor.NewQueryObject(q, sig)
+	h.dispatch(monitor.EvQueryCompile, map[string]monitor.Object{monitor.ClassQuery: obj})
+}
+
+func (h *hooks) QueryCommit(q *engine.QueryInfo, dur time.Duration) {
+	s := (*SQLCM)(h)
+	needTxn := s.ruleEng.HasRulesFor(monitor.EvTxnCommit) || s.ruleEng.HasRulesFor(monitor.EvTxnRollback)
+	needCommit := s.ruleEng.HasRulesFor(monitor.EvQueryCommit)
+	if !needTxn && !needCommit {
+		return
+	}
+	sig := s.sigs.For(q)
+	// Track the statement for transaction signatures when transaction
+	// rules exist.
+	if needTxn {
+		s.txns.Observe(int64(q.TxnID), sig, q.TimeBlocked())
+	}
+	if !needCommit {
+		return
+	}
+	obj := monitor.NewQueryObject(q, sig)
+	obj.DurationAt = dur
+	h.dispatch(monitor.EvQueryCommit, map[string]monitor.Object{monitor.ClassQuery: obj})
+}
+
+func (h *hooks) QueryAbort(q *engine.QueryInfo, dur time.Duration, cancelled bool) {
+	s := (*SQLCM)(h)
+	ev := monitor.EvQueryRollback
+	if cancelled {
+		ev = monitor.EvQueryCancel
+	}
+	if !s.ruleEng.HasRulesFor(ev) {
+		return
+	}
+	obj := monitor.NewQueryObject(q, s.sigs.For(q))
+	obj.DurationAt = dur
+	h.dispatch(ev, map[string]monitor.Object{monitor.ClassQuery: obj})
+}
+
+func (h *hooks) QueryBlocked(ev engine.BlockEvent) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasRulesFor(monitor.EvQueryBlocked) {
+		return
+	}
+	waiter := monitor.NewQueryObject(ev.Waiter, s.sigs.For(ev.Waiter))
+	objs := map[string]monitor.Object{
+		monitor.ClassQuery:   waiter,
+		monitor.ClassBlocked: monitor.NewBlockedObject(ev.Waiter, s.sigs.For(ev.Waiter), 0),
+	}
+	// Bind the first resolvable holder as the Blocker (when several
+	// transactions share the resource one is designated, §6.1).
+	for _, holder := range ev.Holders {
+		if holder != nil {
+			objs[monitor.ClassBlocker] = monitor.NewBlockerObject(holder, s.sigs.For(holder))
+			break
+		}
+	}
+	h.dispatch(monitor.EvQueryBlocked, objs)
+}
+
+func (h *hooks) QueryUnblocked(ev engine.BlockEvent) {
+	// Counter updates happen in the engine; the Block_Released event is
+	// dispatched from the holder side (BlockReleased) where both objects
+	// of the pair are known.
+}
+
+func (h *hooks) BlockReleased(holder *engine.QueryInfo, waiters []engine.BlockEvent) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasRulesFor(monitor.EvQueryBlockReleased) {
+		return
+	}
+	blocker := monitor.NewBlockerObject(holder, s.sigs.For(holder))
+	for _, w := range waiters {
+		objs := map[string]monitor.Object{
+			monitor.ClassQuery:   monitor.NewQueryObject(w.Waiter, s.sigs.For(w.Waiter)),
+			monitor.ClassBlocker: blocker,
+			monitor.ClassBlocked: monitor.NewBlockedObject(w.Waiter, s.sigs.For(w.Waiter), w.Waited),
+		}
+		h.dispatch(monitor.EvQueryBlockReleased, objs)
+	}
+}
+
+func (h *hooks) TxnBegin(t *engine.TxnInfo) {}
+
+func (h *hooks) TxnCommit(t *engine.TxnInfo, dur time.Duration) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) && !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
+		return
+	}
+	obj := s.txns.Finish(t, dur)
+	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) {
+		return
+	}
+	h.dispatch(monitor.EvTxnCommit, map[string]monitor.Object{monitor.ClassTransaction: obj})
+}
+
+func (h *hooks) TxnRollback(t *engine.TxnInfo, dur time.Duration) {
+	s := (*SQLCM)(h)
+	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) && !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
+		return
+	}
+	obj := s.txns.Finish(t, dur)
+	if !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
+		return
+	}
+	h.dispatch(monitor.EvTxnRollback, map[string]monitor.Object{monitor.ClassTransaction: obj})
+}

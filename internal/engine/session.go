@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sqlcm/internal/catalog"
+	"sqlcm/internal/exec"
+	"sqlcm/internal/lock"
+	"sqlcm/internal/plan"
+	"sqlcm/internal/sqlparser"
+	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/txn"
+)
+
+// Session is a client connection to the engine. Sessions are not safe for
+// concurrent use; open one session per goroutine.
+type Session struct {
+	ID   int64
+	User string
+	App  string
+
+	e      *Engine
+	tx     *txn.Txn // explicit transaction, nil in autocommit mode
+	txInfo *TxnInfo
+}
+
+// NewSession opens a session for the given user and application name (both
+// are monitoring probes).
+func (e *Engine) NewSession(user, app string) *Session {
+	return &Session{ID: e.sessionSeq.Add(1), User: user, App: app, e: e}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns  []string
+	Rows     []exec.Row
+	Affected int64
+}
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Exec parses and executes one SQL statement.
+func (s *Session) Exec(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	if s.e.closed.Load() {
+		return nil, errClosed
+	}
+	cp, _, err := s.e.getPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.execPlanned(cp, sql, params)
+}
+
+func (s *Session) execPlanned(cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
+	switch stmt := cp.stmt.(type) {
+	case *sqlparser.Begin:
+		return nil, s.begin()
+	case *sqlparser.Commit:
+		return nil, s.commit()
+	case *sqlparser.Rollback:
+		return nil, s.rollback()
+	case *sqlparser.CreateTable:
+		cols := make([]catalog.Column, len(stmt.Columns))
+		for i, c := range stmt.Columns {
+			cols[i] = catalog.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey, NotNull: c.NotNull}
+		}
+		return &Result{}, s.e.CreateTable(stmt.Name, cols)
+	case *sqlparser.CreateIndex:
+		ix, err := s.e.cat.CreateIndex(stmt.Name, stmt.Table, stmt.Columns, stmt.Unique)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := s.e.reg.Store(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := ts.AddIndex(ix); err != nil {
+			return nil, err
+		}
+		s.e.invalidatePlans()
+		return &Result{}, nil
+	case *sqlparser.DropTable:
+		return &Result{}, s.e.DropTable(stmt.Name)
+	case *sqlparser.CreateProcedure:
+		return &Result{}, s.e.cat.CreateProcedure(&catalog.Procedure{
+			Name:   stmt.Name,
+			Params: stmt.Params,
+			Body:   stmt.Body,
+			Text:   sql,
+		})
+	case *sqlparser.Exec:
+		return s.execProcedure(stmt, params)
+	case *sqlparser.Select, *sqlparser.Insert, *sqlparser.Update, *sqlparser.Delete:
+		return s.runQuery(cp, sql, params)
+	default:
+		return nil, fmt.Errorf("engine: statement %T not executable at session level", cp.stmt)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transaction control
+// ---------------------------------------------------------------------------
+
+func (s *Session) begin() error {
+	if s.tx != nil {
+		return fmt.Errorf("engine: transaction already open")
+	}
+	s.tx = s.e.tm.Begin(false)
+	s.txInfo = s.newTxnInfo(s.tx, false)
+	if h := s.e.hooksRef(); h != nil {
+		h.TxnBegin(s.txInfo)
+	}
+	return nil
+}
+
+func (s *Session) newTxnInfo(t *txn.Txn, implicit bool) *TxnInfo {
+	ti := &TxnInfo{
+		ID:        t.ID,
+		SessionID: s.ID,
+		User:      s.User,
+		App:       s.App,
+		StartTime: t.Start,
+		Implicit:  implicit,
+	}
+	s.e.queryMu.Lock()
+	s.e.txnInfo[t.ID] = ti
+	s.e.queryMu.Unlock()
+	return ti
+}
+
+func (s *Session) endTxn(t *txn.Txn) {
+	s.e.queryMu.Lock()
+	delete(s.e.byTxn, t.ID)
+	delete(s.e.txnInfo, t.ID)
+	s.e.queryMu.Unlock()
+}
+
+func (s *Session) commit() error {
+	if s.tx == nil {
+		return fmt.Errorf("engine: no transaction open")
+	}
+	t, ti := s.tx, s.txInfo
+	s.tx, s.txInfo = nil, nil
+	err := s.e.tm.Commit(t)
+	dur := time.Since(ti.StartTime)
+	if h := s.e.hooksRef(); h != nil && err == nil {
+		h.TxnCommit(ti, dur)
+	}
+	s.endTxn(t)
+	return err
+}
+
+func (s *Session) rollback() error {
+	if s.tx == nil {
+		return fmt.Errorf("engine: no transaction open")
+	}
+	t, ti := s.tx, s.txInfo
+	s.tx, s.txInfo = nil, nil
+	err := s.e.tm.Rollback(t)
+	dur := time.Since(ti.StartTime)
+	if h := s.e.hooksRef(); h != nil {
+		h.TxnRollback(ti, dur)
+	}
+	s.endTxn(t)
+	return err
+}
+
+// abortTxn rolls back after a statement failure. In this engine a statement
+// error aborts the whole transaction (documented in DESIGN.md).
+func (s *Session) abortTxn(t *txn.Txn, ti *TxnInfo) {
+	if s.tx == t {
+		s.tx, s.txInfo = nil, nil
+	}
+	_ = s.e.tm.Rollback(t)
+	if h := s.e.hooksRef(); h != nil && ti != nil {
+		h.TxnRollback(ti, time.Since(ti.StartTime))
+	}
+	s.endTxn(t)
+}
+
+// ---------------------------------------------------------------------------
+// Query execution
+// ---------------------------------------------------------------------------
+
+// tablesOf collects the base tables a logical plan touches.
+func tablesOf(l plan.Logical) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(n plan.Logical)
+	walk = func(n plan.Logical) {
+		if n == nil {
+			return
+		}
+		switch t := n.(type) {
+		case *plan.LogicalScan:
+			if !seen[t.Table.Name] {
+				seen[t.Table.Name] = true
+				out = append(out, t.Table.Name)
+			}
+		case *plan.LogicalInsert:
+			out = append(out, t.Table.Name)
+		case *plan.LogicalUpdate:
+			out = append(out, t.Table.Name)
+		case *plan.LogicalDelete:
+			out = append(out, t.Table.Name)
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(l)
+	sort.Strings(out) // deterministic lock order limits deadlocks
+	return out
+}
+
+func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
+	// Transaction: use the session's explicit transaction or an implicit
+	// autocommit one.
+	t := s.tx
+	ti := s.txInfo
+	implicit := false
+	if t == nil {
+		implicit = true
+		t = s.e.tm.Begin(true)
+		ti = s.newTxnInfo(t, true)
+		if h := s.e.hooksRef(); h != nil {
+			h.TxnBegin(ti)
+		}
+	}
+
+	qi := &QueryInfo{
+		ID:        s.e.querySeq.Add(1),
+		SessionID: s.ID,
+		User:      s.User,
+		App:       s.App,
+		Text:      sql,
+		Type:      cp.qtype,
+		StartTime: time.Now(),
+		TxnID:     t.ID,
+		Txn:       t,
+	}
+	s.e.registerQuery(qi)
+	h := s.e.hooksRef()
+	if h != nil {
+		h.QueryStart(qi)
+	}
+
+	// Compile phase: plans come from the cache; signatures are computed by
+	// the monitor here and cached with the plan (see monitor package).
+	qi.Logical = cp.logical
+	qi.Physical = cp.physical
+	qi.EstimatedCost = cp.estCost
+	qi.OptimizeTime = cp.optimize
+	qi.Instances = cp.instances.Add(1)
+	qi.PlanCacheHit = qi.Instances > 1
+	if h != nil {
+		h.QueryCompiled(qi)
+	}
+
+	ti.QueryIDs = append(ti.QueryIDs, qi.ID)
+
+	res, err := s.executeBody(cp, qi, t, params)
+	dur := time.Since(qi.StartTime)
+
+	if err != nil {
+		cancelled := t.Cancelled()
+		if h != nil {
+			h.QueryAbort(qi, dur, cancelled)
+		}
+		s.e.unregisterQuery(qi)
+		s.abortTxn(t, ti)
+		return nil, err
+	}
+
+	if implicit {
+		if cerr := s.e.tm.Commit(t); cerr != nil {
+			s.e.unregisterQuery(qi)
+			s.endTxn(t)
+			return nil, cerr
+		}
+	}
+	// Query.Commit fires when the statement completes (paper §5.1); for
+	// autocommit statements this is after the transaction commit so that
+	// rules observing lock-release events see a consistent order.
+	if h != nil {
+		h.QueryCommit(qi, dur)
+	}
+	s.e.unregisterQuery(qi)
+	if implicit {
+		if h != nil {
+			h.TxnCommit(ti, time.Since(ti.StartTime))
+		}
+		s.endTxn(t)
+	}
+	return res, nil
+}
+
+// executeBody acquires locks and runs the statement.
+func (s *Session) executeBody(cp *cachedPlan, qi *QueryInfo, t *txn.Txn, params map[string]sqltypes.Value) (*Result, error) {
+	mode := lock.Shared
+	if cp.qtype != QuerySelect {
+		mode = lock.Exclusive
+	}
+	for _, table := range tablesOf(cp.logical) {
+		if err := s.e.locks.Acquire(t.ID, lock.TableResource(table), mode); err != nil {
+			return nil, err
+		}
+	}
+	ctx := &exec.Ctx{Txn: t, Params: params}
+	switch p := cp.physical.(type) {
+	case *plan.PhysInsert:
+		n, err := exec.ExecInsert(ctx, s.e.reg, p, s.e.cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	case *plan.PhysUpdate:
+		n, err := exec.ExecUpdate(ctx, s.e.reg, p, s.e.cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	case *plan.PhysDelete:
+		n, err := exec.ExecDelete(ctx, s.e.reg, p, s.e.cat)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Affected: n}, nil
+	default:
+		op, err := exec.Build(cp.physical, s.e.reg)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Run(op, ctx)
+		if err != nil {
+			return nil, err
+		}
+		schema := cp.physical.Schema()
+		cols := make([]string, len(schema))
+		for i, c := range schema {
+			cols[i] = c.Name
+		}
+		return &Result{Columns: cols, Rows: rows, Affected: int64(len(rows))}, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stored procedures
+// ---------------------------------------------------------------------------
+
+func (s *Session) execProcedure(call *sqlparser.Exec, callerParams map[string]sqltypes.Value) (*Result, error) {
+	proc, err := s.e.cat.Procedure(call.Proc)
+	if err != nil {
+		return nil, err
+	}
+	if len(call.Args) != len(proc.Params) {
+		return nil, fmt.Errorf("engine: procedure %s expects %d arguments, got %d",
+			proc.Name, len(proc.Params), len(call.Args))
+	}
+	// Evaluate arguments in the caller's parameter scope.
+	locals := make(map[string]sqltypes.Value, len(proc.Params))
+	for i, argExpr := range call.Args {
+		ev, err := exec.Compile(argExpr, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev.Eval(nil, callerParams)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := exec.CoerceValue(proc.Params[i].Type, v)
+		if err != nil {
+			return nil, fmt.Errorf("engine: argument @%s: %w", proc.Params[i].Name, err)
+		}
+		locals[proc.Params[i].Name] = cv
+	}
+
+	// A procedure invocation runs in one transaction: the session's open
+	// transaction, or an implicit one spanning the whole call. This gives
+	// the Transaction monitored class the per-invocation statement
+	// sequence that transaction signatures group on (§4.2).
+	implicit := s.tx == nil
+	if implicit {
+		if err := s.begin(); err != nil {
+			return nil, err
+		}
+	}
+
+	last, err := s.execProcBody(proc.Body, locals)
+	if err != nil {
+		if s.tx != nil {
+			t, ti := s.tx, s.txInfo
+			s.tx, s.txInfo = nil, nil
+			s.abortTxn(t, ti)
+		}
+		return nil, err
+	}
+	if implicit {
+		if err := s.commit(); err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// execProcBody runs procedure statements, returning the result of the last
+// row-returning statement.
+func (s *Session) execProcBody(body []sqlparser.Statement, locals map[string]sqltypes.Value) (*Result, error) {
+	var last *Result
+	for _, stmt := range body {
+		switch st := stmt.(type) {
+		case *sqlparser.If:
+			ev, err := exec.Compile(st.Cond, nil)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := exec.EvalBool(ev, nil, locals)
+			if err != nil {
+				return nil, err
+			}
+			branch := st.Then
+			if !ok {
+				branch = st.Else
+			}
+			res, err := s.execProcBody(branch, locals)
+			if err != nil {
+				return nil, err
+			}
+			if res != nil && res.Columns != nil {
+				last = res
+			}
+		case *sqlparser.SetVar:
+			ev, err := exec.Compile(st.Expr, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ev.Eval(nil, locals)
+			if err != nil {
+				return nil, err
+			}
+			locals[st.Name] = v
+		case *sqlparser.Exec:
+			res, err := s.execProcedure(st, locals)
+			if err != nil {
+				return nil, err
+			}
+			if res != nil && res.Columns != nil {
+				last = res
+			}
+		default:
+			// Regular statement: go through the planned path (cached by
+			// its canonical text) so it is monitored like any query.
+			text := stmt.String()
+			cp, _, err := s.e.getPlan(text)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.execPlanned(cp, text, locals)
+			if err != nil {
+				return nil, err
+			}
+			if res != nil && res.Columns != nil {
+				last = res
+			}
+		}
+	}
+	return last, nil
+}

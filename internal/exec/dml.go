@@ -1,0 +1,395 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+
+	"sqlcm/internal/catalog"
+	"sqlcm/internal/plan"
+	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/storage"
+)
+
+// DML execution. Statement errors leave the transaction's undo log with the
+// inverse of every row change applied so far; the engine responds to a DML
+// error by rolling back the transaction (statement-level atomicity is
+// subsumed by transaction rollback, a behaviour documented in DESIGN.md).
+
+// ExecInsert runs an insert plan, returning the number of rows inserted.
+func ExecInsert(ctx *Ctx, sp StoreProvider, p *plan.PhysInsert, cat *catalog.Catalog) (int64, error) {
+	ts, err := sp.Store(p.Table.Name)
+	if err != nil {
+		return 0, err
+	}
+	evalsPerRow := make([][]Evaluator, len(p.RowsSrc))
+	for i, row := range p.RowsSrc {
+		evalsPerRow[i] = make([]Evaluator, len(row))
+		for j, e := range row {
+			ev, err := Compile(e, nil)
+			if err != nil {
+				return 0, err
+			}
+			evalsPerRow[i][j] = ev
+		}
+	}
+	var n int64
+	for _, evals := range evalsPerRow {
+		if err := ctx.checkCancel(); err != nil {
+			return n, err
+		}
+		row := make(Row, len(p.Table.Columns))
+		for i := range row {
+			row[i] = sqltypes.Null
+		}
+		for j, ev := range evals {
+			v, err := ev.Eval(nil, ctx.Params)
+			if err != nil {
+				return n, err
+			}
+			cv, err := CoerceValue(p.Table.Columns[p.Columns[j]].Type, v)
+			if err != nil {
+				return n, fmt.Errorf("column %q: %w", p.Table.Columns[p.Columns[j]].Name, err)
+			}
+			row[p.Columns[j]] = cv
+		}
+		if err := InsertRow(ctx, ts, row, cat); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// InsertRow inserts one fully materialized row into a table store,
+// maintaining indexes, NOT NULL constraints, statistics and the undo log.
+// It is also the entry point used by the engine for programmatic inserts
+// (e.g. persisting LATs).
+func InsertRow(ctx *Ctx, ts *TableStore, row Row, cat *catalog.Catalog) error {
+	meta := ts.Meta
+	if len(row) != len(meta.Columns) {
+		return fmt.Errorf("exec: row width %d != %d columns of %q", len(row), len(meta.Columns), meta.Name)
+	}
+	for i, col := range meta.Columns {
+		if col.NotNull && row[i].IsNull() {
+			return fmt.Errorf("exec: NULL in NOT NULL column %q of %q", col.Name, meta.Name)
+		}
+	}
+	rec := EncodeRow(row)
+	rid, err := ts.Heap.Insert(rec)
+	if err != nil {
+		return err
+	}
+	// Maintain indexes; unwind on unique violation.
+	var done []*catalog.Index
+	for _, ix := range meta.Indexes {
+		bt := ts.Indexes[ix.Name]
+		if bt == nil {
+			continue
+		}
+		if err := bt.Insert(ts.IndexKey(ix, row), rid); err != nil {
+			for _, u := range done {
+				ts.Indexes[u.Name].Delete(ts.IndexKey(u, row), rid)
+			}
+			if derr := ts.Heap.Delete(rid); derr != nil {
+				return fmt.Errorf("exec: unwind failed (%v) after: %w", derr, err)
+			}
+			return fmt.Errorf("exec: %s on %q: %w", ix.Name, meta.Name, err)
+		}
+		done = append(done, ix)
+	}
+	if cat != nil {
+		cat.AddRows(meta.Name, 1)
+	}
+	if ctx.Txn != nil {
+		rowCopy := row.Clone()
+		ctx.Txn.OnRollback(func() error {
+			for _, ix := range meta.Indexes {
+				if bt := ts.Indexes[ix.Name]; bt != nil {
+					bt.Delete(ts.IndexKey(ix, rowCopy), rid)
+				}
+			}
+			if cat != nil {
+				cat.AddRows(meta.Name, -1)
+			}
+			return ts.Heap.Delete(rid)
+		})
+	}
+	return nil
+}
+
+// targetRow is a row located for update/delete.
+type targetRow struct {
+	rid storage.RID
+	row Row
+}
+
+// collectTargetsWithRIDs materializes the (rid, row) pairs matched by an
+// access path. DML collects all targets before mutating so the scan never
+// observes its own writes (Halloween protection).
+func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, schema []plan.ColMeta) ([]targetRow, error) {
+	var residual Evaluator
+	if access.Residual != nil {
+		ev, err := Compile(access.Residual, schema)
+		if err != nil {
+			return nil, err
+		}
+		residual = ev
+	}
+	ncols := len(ts.Meta.Columns)
+	var out []targetRow
+	appendIfMatch := func(rid storage.RID, rec []byte) error {
+		row, err := DecodeRow(rec, ncols)
+		if err != nil {
+			return err
+		}
+		ctx.RowsExamined++
+		if residual != nil {
+			ok, err := EvalBool(residual, row, ctx.Params)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		out = append(out, targetRow{rid: rid, row: row})
+		return nil
+	}
+
+	if access.Index == nil {
+		var innerErr error
+		err := ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+			if err := ctx.checkCancel(); err != nil {
+				innerErr = err
+				return false
+			}
+			if err := appendIfMatch(rid, rec); err != nil {
+				innerErr = err
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, innerErr
+	}
+
+	bt := ts.Indexes[access.Index.Name]
+	if bt == nil {
+		return nil, fmt.Errorf("exec: index %q has no storage", access.Index.Name)
+	}
+	var eqVals []sqltypes.Value
+	for _, e := range access.Eq {
+		ev, err := Compile(e, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev.Eval(nil, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		eqVals = append(eqVals, v)
+	}
+	prefix := sqltypes.EncodeKey(eqVals...)
+	lo, hi := prefix, prefix
+	loIncl, hiIncl := true, true
+	if access.Lo != nil {
+		ev, err := Compile(access.Lo, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev.Eval(nil, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		lo = v.Encode(append([]byte(nil), prefix...))
+		loIncl = access.LoIncl
+	}
+	if access.Hi != nil {
+		ev, err := Compile(access.Hi, nil)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ev.Eval(nil, ctx.Params)
+		if err != nil {
+			return nil, err
+		}
+		hi = v.Encode(append([]byte(nil), prefix...))
+		hiIncl = access.HiIncl
+	} else if access.Lo != nil || len(eqVals) < len(access.Index.Columns) {
+		hi = prefixSuccessor(prefix)
+		hiIncl = false
+	}
+	var rids []storage.RID
+	bt.ScanRange(lo, hi, loIncl, hiIncl, func(k []byte, rid storage.RID) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	for _, rid := range rids {
+		if err := ctx.checkCancel(); err != nil {
+			return nil, err
+		}
+		rec, err := ts.Heap.Get(rid)
+		if err != nil {
+			continue // deleted concurrently within our txn's view
+		}
+		if err := appendIfMatch(rid, rec); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ExecUpdate runs an update plan, returning the number of rows changed.
+func ExecUpdate(ctx *Ctx, sp StoreProvider, p *plan.PhysUpdate, cat *catalog.Catalog) (int64, error) {
+	ts, err := sp.Store(p.Table.Name)
+	if err != nil {
+		return 0, err
+	}
+	schema := make([]plan.ColMeta, len(ts.Meta.Columns))
+	for i, c := range ts.Meta.Columns {
+		schema[i] = plan.ColMeta{Qual: ts.Meta.Name, Name: c.Name}
+	}
+	targets, err := collectTargetsWithRIDs(ctx, ts, p.Access, schema)
+	if err != nil {
+		return 0, err
+	}
+	setEvals := make([]Evaluator, len(p.Sets))
+	for i, s := range p.Sets {
+		ev, err := Compile(s.Expr, schema)
+		if err != nil {
+			return 0, err
+		}
+		setEvals[i] = ev
+	}
+	var n int64
+	for _, tgt := range targets {
+		if err := ctx.checkCancel(); err != nil {
+			return n, err
+		}
+		newRow := tgt.row.Clone()
+		for i, s := range p.Sets {
+			v, err := setEvals[i].Eval(tgt.row, ctx.Params)
+			if err != nil {
+				return n, err
+			}
+			cv, err := CoerceValue(ts.Meta.Columns[s.Column].Type, v)
+			if err != nil {
+				return n, fmt.Errorf("column %q: %w", ts.Meta.Columns[s.Column].Name, err)
+			}
+			if ts.Meta.Columns[s.Column].NotNull && cv.IsNull() {
+				return n, fmt.Errorf("exec: NULL in NOT NULL column %q", ts.Meta.Columns[s.Column].Name)
+			}
+			newRow[s.Column] = cv
+		}
+		if _, err := updateRow(ctx, ts, tgt.rid, tgt.row, newRow, cat, true); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// updateRow replaces oldRow (at rid) with newRow, fixing indexes and
+// optionally recording undo. Returns the row's new RID.
+func updateRow(ctx *Ctx, ts *TableStore, rid storage.RID, oldRow, newRow Row, cat *catalog.Catalog, recordUndo bool) (storage.RID, error) {
+	newRid, err := ts.Heap.Update(rid, EncodeRow(newRow))
+	if err != nil {
+		return rid, err
+	}
+	for _, ix := range ts.Meta.Indexes {
+		bt := ts.Indexes[ix.Name]
+		if bt == nil {
+			continue
+		}
+		oldKey := ts.IndexKey(ix, oldRow)
+		newKey := ts.IndexKey(ix, newRow)
+		if bytes.Equal(oldKey, newKey) && newRid == rid {
+			continue
+		}
+		bt.Delete(oldKey, rid)
+		if err := bt.Insert(newKey, newRid); err != nil {
+			// Unique violation: restore the index entry and the heap row,
+			// then surface the error (caller aborts the transaction).
+			bt.Insert(oldKey, newRid) //nolint:errcheck // restoring prior state
+			if _, rerr := ts.Heap.Update(newRid, EncodeRow(oldRow)); rerr != nil {
+				return rid, fmt.Errorf("exec: unwind failed (%v) after: %w", rerr, err)
+			}
+			return rid, fmt.Errorf("exec: %s on %q: %w", ix.Name, ts.Meta.Name, err)
+		}
+	}
+	if recordUndo && ctx.Txn != nil {
+		oldCopy := oldRow.Clone()
+		newCopy := newRow.Clone()
+		finalRid := newRid
+		ctx.Txn.OnRollback(func() error {
+			_, err := updateRow(ctx, ts, finalRid, newCopy, oldCopy, cat, false)
+			return err
+		})
+	}
+	return newRid, nil
+}
+
+// ExecDelete runs a delete plan, returning the number of rows removed.
+func ExecDelete(ctx *Ctx, sp StoreProvider, p *plan.PhysDelete, cat *catalog.Catalog) (int64, error) {
+	ts, err := sp.Store(p.Table.Name)
+	if err != nil {
+		return 0, err
+	}
+	schema := make([]plan.ColMeta, len(ts.Meta.Columns))
+	for i, c := range ts.Meta.Columns {
+		schema[i] = plan.ColMeta{Qual: ts.Meta.Name, Name: c.Name}
+	}
+	targets, err := collectTargetsWithRIDs(ctx, ts, p.Access, schema)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for _, tgt := range targets {
+		if err := ctx.checkCancel(); err != nil {
+			return n, err
+		}
+		if err := DeleteRow(ctx, ts, tgt.rid, tgt.row, cat); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// DeleteRow removes one row, maintaining indexes, statistics and undo.
+func DeleteRow(ctx *Ctx, ts *TableStore, rid storage.RID, row Row, cat *catalog.Catalog) error {
+	if err := ts.Heap.Delete(rid); err != nil {
+		return err
+	}
+	for _, ix := range ts.Meta.Indexes {
+		if bt := ts.Indexes[ix.Name]; bt != nil {
+			bt.Delete(ts.IndexKey(ix, row), rid)
+		}
+	}
+	if cat != nil {
+		cat.AddRows(ts.Meta.Name, -1)
+	}
+	if ctx.Txn != nil {
+		rowCopy := row.Clone()
+		ctx.Txn.OnRollback(func() error {
+			newRid, err := ts.Heap.Insert(EncodeRow(rowCopy))
+			if err != nil {
+				return err
+			}
+			for _, ix := range ts.Meta.Indexes {
+				if bt := ts.Indexes[ix.Name]; bt != nil {
+					if err := bt.Insert(ts.IndexKey(ix, rowCopy), newRid); err != nil {
+						return err
+					}
+				}
+			}
+			if cat != nil {
+				cat.AddRows(ts.Meta.Name, 1)
+			}
+			return nil
+		})
+	}
+	return nil
+}

@@ -1,0 +1,663 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation (§6.2):
+//
+//   - E-SIG: signature-computation overhead relative to optimization time
+//     (in-text table, §6.2.1),
+//   - E-FIG2: rule-evaluation + LAT-maintenance overhead as a function of
+//     rule count and condition complexity (Figure 2),
+//   - E-FIG3 / E-ACC: the top-10-most-expensive-queries task across
+//     monitoring approaches — runtime overhead (Figure 3) and accuracy
+//     (in-text §6.2.2).
+//
+// Absolute numbers differ from the paper's 2003 testbed; the harness
+// reports the shapes the paper's conclusions rest on (who wins, roughly by
+// how much, and how accuracy degrades with polling frequency).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sqlcm/internal/baseline"
+	"sqlcm/internal/core"
+	"sqlcm/internal/engine"
+	"sqlcm/internal/lat"
+	"sqlcm/internal/plan"
+	"sqlcm/internal/rules"
+	"sqlcm/internal/signature"
+	"sqlcm/internal/sqlparser"
+	"sqlcm/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// E-SIG: signature-computation overhead (§6.2.1)
+// ---------------------------------------------------------------------------
+
+// SigResult is one row of the signature-overhead table. The paper reports
+// signature cost relative to optimization time (0.5% for trivial selects
+// down to 0.011% for complex TPC-H queries on SQL Server); our rule-based
+// optimizer is orders of magnitude cheaper than SQL Server's Cascades
+// search, so the ratio against it is far larger even though the absolute
+// cost is microseconds and is paid once per cached plan. Both ratios are
+// reported; EXPERIMENTS.md discusses the substitution effect.
+type SigResult struct {
+	Class      string
+	ParseNs    int64 // mean ns per parse
+	OptimizeNs int64 // mean ns per plan construction + optimization
+	SigNs      int64 // mean ns per signature computation (logical+physical)
+	// PctOfOptimize is SigNs/OptimizeNs (the paper's metric).
+	PctOfOptimize float64
+	// PctOfCompile is SigNs/(ParseNs+OptimizeNs): signature cost relative
+	// to the full plan-cache-miss path it is amortized into.
+	PctOfCompile float64
+}
+
+// sigQueryClasses mirrors the paper's extremes: trivial selections without
+// conditions up to complex multi-join aggregation queries.
+var sigQueryClasses = []struct {
+	name string
+	sql  string
+}{
+	{"single-row select, no predicate", "SELECT l_quantity FROM lineitem"},
+	{"point select (indexed)", "SELECT l_quantity FROM lineitem WHERE l_id = 42"},
+	{"range select with residual", "SELECT l_id FROM lineitem WHERE l_id >= 10 AND l_id < 500 AND l_quantity > 5"},
+	{"2-way join", `SELECT l.l_id, o.o_totalprice FROM lineitem l
+		JOIN orders o ON l.l_orderkey = o.o_orderkey WHERE l.l_id = 7`},
+	{"3-way join + aggregation (TPC-H-like)", `SELECT o.o_status, COUNT(*), SUM(l.l_extendedprice), AVG(p.p_retailprice)
+		FROM lineitem l
+		JOIN orders o ON l.l_orderkey = o.o_orderkey
+		JOIN part p ON l.l_partkey = p.p_partkey
+		WHERE l.l_quantity > 10 AND o.o_totalprice > 1000 AND l.l_id >= 5 AND l.l_id < 90000
+		GROUP BY o.o_status HAVING COUNT(*) > 3 ORDER BY SUM(l.l_extendedprice) DESC LIMIT 10`},
+}
+
+// RunSignatureOverhead measures the cost of computing logical+physical
+// signatures relative to query optimization, per query class.
+func RunSignatureOverhead(iters int) ([]SigResult, error) {
+	if iters <= 0 {
+		iters = 2000
+	}
+	eng, err := engine.Open(engine.Config{PoolPages: 128})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	// Schema only (no rows needed: both optimization and signature
+	// computation work on metadata + stats).
+	if _, err := workload.Setup(eng, workload.Config{Lineitems: 10, Orders: 5, Parts: 5, ShortQueries: 1, JoinQueries: 1}); err != nil {
+		return nil, err
+	}
+	eng.Catalog().AddRows("lineitem", 100_000)
+	eng.Catalog().AddRows("orders", 25_000)
+	eng.Catalog().AddRows("part", 2_000)
+
+	var out []SigResult
+	for _, qc := range sigQueryClasses {
+		stmt, err := sqlparser.Parse(qc.sql)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", qc.name, err)
+		}
+		// Warm up allocator and caches for this class.
+		for i := 0; i < iters/10+1; i++ {
+			l, _ := plan.BuildLogical(stmt, eng.Catalog())
+			p, _ := plan.Optimize(l, eng.Catalog())
+			signature.Logical(l)
+			signature.Physical(p)
+		}
+
+		parseStart := time.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := sqlparser.Parse(qc.sql); err != nil {
+				return nil, err
+			}
+		}
+		parseNs := time.Since(parseStart).Nanoseconds() / int64(iters)
+
+		var lastLogical plan.Logical
+		var lastPhysical plan.Physical
+		optStart := time.Now()
+		for i := 0; i < iters; i++ {
+			l, err := plan.BuildLogical(stmt, eng.Catalog())
+			if err != nil {
+				return nil, err
+			}
+			p, err := plan.Optimize(l, eng.Catalog())
+			if err != nil {
+				return nil, err
+			}
+			lastLogical, lastPhysical = l, p
+		}
+		optNs := time.Since(optStart).Nanoseconds() / int64(iters)
+
+		sigStart := time.Now()
+		for i := 0; i < iters; i++ {
+			signature.Logical(lastLogical)
+			signature.Physical(lastPhysical)
+		}
+		sigNs := time.Since(sigStart).Nanoseconds() / int64(iters)
+
+		out = append(out, SigResult{
+			Class:         qc.name,
+			ParseNs:       parseNs,
+			OptimizeNs:    optNs,
+			SigNs:         sigNs,
+			PctOfOptimize: 100 * float64(sigNs) / float64(optNs),
+			PctOfCompile:  100 * float64(sigNs) / float64(parseNs+optNs),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E-FIG2: rule evaluation + LAT maintenance overhead (Figure 2)
+// ---------------------------------------------------------------------------
+
+// Fig2Config scales the Figure 2 experiment.
+type Fig2Config struct {
+	// Queries is the number of single-row selections (paper: 10_000).
+	Queries int
+	// Lineitems scales the table (paper: 6M; default 50_000).
+	Lineitems int
+	// RuleCounts are the x-axis points (paper: 100…1000).
+	RuleCounts []int
+	// Conditions are the per-rule atomic-condition counts (paper: 1…20).
+	Conditions []int
+}
+
+func (c Fig2Config) withDefaults() Fig2Config {
+	if c.Queries == 0 {
+		c.Queries = 10_000
+	}
+	if c.Lineitems == 0 {
+		c.Lineitems = 50_000
+	}
+	if len(c.RuleCounts) == 0 {
+		c.RuleCounts = []int{100, 250, 500, 750, 1000}
+	}
+	if len(c.Conditions) == 0 {
+		c.Conditions = []int{1, 5, 10, 20}
+	}
+	return c
+}
+
+// Fig2Point is one measurement of Figure 2.
+type Fig2Point struct {
+	Rules       int
+	Conditions  int
+	BaselineNs  int64
+	MonitoredNs int64
+	OverheadPct float64
+}
+
+// fig2Condition builds a condition with n atomic comparisons that always
+// hold, so every rule fires for every query (the paper's stress setup).
+var fig2Atoms = []string{
+	"Query.Duration >= 0",
+	"Query.ID > 0",
+	"Query.Times_Blocked >= 0",
+	"Query.Time_Blocked >= 0",
+	"Query.Estimated_Cost >= 0",
+	"Query.Queries_Blocked >= 0",
+	"Query.Number_of_instances > 0",
+	"Query.Session_ID > 0",
+	"Query.Duration < 100000",
+	"Query.ID < 9000000000",
+}
+
+func fig2Condition(n int) string {
+	parts := make([]string, n)
+	for i := 0; i < n; i++ {
+		parts[i] = fig2Atoms[i%len(fig2Atoms)]
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// fig2LATSpec is the paper's per-rule container: all attributes (incl.
+// query text) of the last 10 queries seen.
+func fig2LATSpec(i int) lat.Spec {
+	return lat.Spec{
+		Name:    fmt.Sprintf("fig2_lat_%04d", i),
+		GroupBy: []string{"ID"},
+		Aggs: []lat.AggCol{
+			{Func: lat.Last, Attr: "Query_Text", Name: "Text"},
+			{Func: lat.Last, Attr: "Duration", Name: "Dur"},
+			{Func: lat.Last, Attr: "Logical_Signature", Name: "LSig"},
+			{Func: lat.Last, Attr: "Physical_Signature", Name: "PSig"},
+			{Func: lat.Last, Attr: "Estimated_Cost", Name: "Cost"},
+		},
+		OrderBy: []lat.OrderKey{{Col: "ID", Desc: true}},
+		MaxRows: 10,
+	}
+}
+
+// fig2Workload builds the short-select-only query list.
+func fig2Workload(cfg Fig2Config) workload.Config {
+	return workload.Config{
+		Lineitems:    cfg.Lineitems,
+		ShortQueries: cfg.Queries,
+		JoinQueries:  1, // Mix requires at least one; negligible
+		Seed:         7,
+	}
+}
+
+// RunFig2 measures monitoring overhead for every (rules × conditions)
+// combination against an unmonitored baseline on the same engine state.
+func RunFig2(cfg Fig2Config, progress io.Writer) ([]Fig2Point, error) {
+	cfg = cfg.withDefaults()
+	eng, err := engine.Open(engine.Config{PoolPages: 4096})
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	wcfg, err := workload.Setup(eng, fig2Workload(cfg))
+	if err != nil {
+		return nil, err
+	}
+	queries := workload.Mix(wcfg)
+
+	run := func() (time.Duration, error) {
+		start := time.Now()
+		if _, err := workload.Run(eng, queries, "bench", "fig2"); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+
+	// Warm the caches, then measure the unmonitored baseline.
+	if _, err := run(); err != nil {
+		return nil, err
+	}
+	baselineDur, err := run()
+	if err != nil {
+		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "fig2: baseline %v for %d queries\n", baselineDur, len(queries))
+	}
+
+	var out []Fig2Point
+	for _, nConds := range cfg.Conditions {
+		for _, nRules := range cfg.RuleCounts {
+			s := core.Attach(eng, core.Options{})
+			for i := 0; i < nRules; i++ {
+				if _, err := s.DefineLAT(fig2LATSpec(i)); err != nil {
+					return nil, err
+				}
+				if _, err := s.NewRule(
+					fmt.Sprintf("fig2_rule_%04d", i),
+					"Query.Commit",
+					fig2Condition(nConds),
+					&rules.InsertAction{LAT: fig2LATSpec(i).Name},
+				); err != nil {
+					return nil, err
+				}
+			}
+			monitored, err := run()
+			s.Detach()
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig2Point{
+				Rules:       nRules,
+				Conditions:  nConds,
+				BaselineNs:  baselineDur.Nanoseconds(),
+				MonitoredNs: monitored.Nanoseconds(),
+				OverheadPct: 100 * float64(monitored-baselineDur) / float64(baselineDur),
+			}
+			out = append(out, pt)
+			if progress != nil {
+				fmt.Fprintf(progress, "fig2: rules=%4d conds=%2d overhead=%6.2f%%\n",
+					pt.Rules, pt.Conditions, pt.OverheadPct)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E-FIG3 / E-ACC: monitoring-approach comparison (Figure 3)
+// ---------------------------------------------------------------------------
+
+// Fig3Config scales the Figure 3 experiment.
+type Fig3Config struct {
+	Workload workload.Config
+	// PollIntervals for PULL and PULL_history. The paper polled between
+	// 1/sec and 1/5min on 2003 hardware with ~1000x slower queries; scaled
+	// defaults keep the same polls-per-query ratios.
+	PollIntervals []time.Duration
+	// PoolPages bounds the buffer pool (pressure matters for PULL_history).
+	PoolPages int
+	// K is the top-k size (paper: 10).
+	K int
+	// DataDir, when set, backs the engine with a file there (real I/O).
+	DataDir string
+}
+
+func (c Fig3Config) withDefaults() Fig3Config {
+	if c.Workload.Lineitems == 0 {
+		c.Workload = workload.Config{
+			Lineitems:    50_000,
+			ShortQueries: 20_000,
+			JoinQueries:  100,
+			Seed:         11,
+		}
+	}
+	if len(c.PollIntervals) == 0 {
+		c.PollIntervals = []time.Duration{
+			time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+		}
+	}
+	if c.PoolPages == 0 {
+		// Sized so the dataset mostly fits but the PULL_history buffer's
+		// memory reservation causes real page-cache pressure.
+		c.PoolPages = 640
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.DataDir == "" {
+		// Real file I/O by default: eviction and synchronous logging cost
+		// something, as they did on the paper's testbed.
+		if dir, err := os.MkdirTemp("", "sqlcm-fig3-"); err == nil {
+			c.DataDir = dir
+		}
+	}
+	return c
+}
+
+// Fig3Row is one series point of Figure 3 plus the accuracy numbers.
+type Fig3Row struct {
+	Approach    string
+	Param       string // poll interval, where applicable
+	ElapsedNs   int64
+	OverheadPct float64
+	Missed      int   // of the true top-k (E-ACC)
+	Polls       int64 // snapshot/drain count, where applicable
+}
+
+// topQLATSpec is the SQLCM approach's container: the k most expensive
+// query texts.
+func topQLATSpec(k int) lat.Spec {
+	return lat.Spec{
+		Name:    "TopQ",
+		GroupBy: []string{"Query_Text"},
+		Aggs:    []lat.AggCol{{Func: lat.Max, Attr: "Duration", Name: "Duration"}},
+		OrderBy: []lat.OrderKey{{Col: "Duration", Desc: true}},
+		MaxRows: k,
+	}
+}
+
+// RunFig3 runs the top-k task under every monitoring approach, reporting
+// runtime overhead against the unmonitored baseline and accuracy against
+// client-measured ground truth.
+func RunFig3(cfg Fig3Config, progress io.Writer) ([]Fig3Row, error) {
+	cfg = cfg.withDefaults()
+
+	type runResult struct {
+		elapsed  time.Duration // best monitored run
+		baseline time.Duration // best unmonitored run on the same engine
+		truth    []baseline.TopEntry
+		got      []baseline.TopEntry
+		polls    int64
+	}
+
+	// newEngine builds a fresh engine + data for one approach run.
+	newEngine := func(tag string) (*engine.Engine, []workload.Query, error) {
+		ecfg := engine.Config{PoolPages: cfg.PoolPages}
+		if cfg.DataDir != "" {
+			ecfg.DataPath = filepath.Join(cfg.DataDir, "fig3-"+tag+".db")
+			os.Remove(ecfg.DataPath) //nolint:errcheck
+		}
+		eng, err := engine.Open(ecfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		wcfg, err := workload.Setup(eng, cfg.Workload)
+		if err != nil {
+			eng.Close()
+			return nil, nil, err
+		}
+		return eng, workload.Mix(wcfg), nil
+	}
+
+	// measure runs the workload on one engine with monitored and
+	// unmonitored passes interleaved: rep r runs one unmonitored pass (the
+	// approach suspended) followed by one monitored pass, and overhead
+	// compares the minima. Interleaving on a single engine cancels the
+	// drift (page-cache state, GC, file layout) that would otherwise swamp
+	// per-query monitoring costs. A final monitored pass on reset
+	// observation state yields the accuracy comparison: ground truth
+	// (client-measured durations) and the approach's top-k cover exactly
+	// the same execution window.
+	const reps = 3
+	type approach struct {
+		// attach enables monitoring (first call may create state).
+		attach func()
+		// detach disables monitoring, keeping state for the next attach.
+		detach func()
+		// reset clears accumulated observations.
+		reset func()
+		// stop produces the final top-k (and poll count) and tears down.
+		stop func() (got []baseline.TopEntry, polls int64)
+	}
+	measure := func(tag string, build func(*engine.Engine) (approach, error)) (runResult, error) {
+		eng, queries, err := newEngine(tag)
+		if err != nil {
+			return runResult{}, err
+		}
+		defer eng.Close()
+		// Warm-up pass to populate plan and page caches.
+		if _, err := workload.Run(eng, queries, "warm", "fig3"); err != nil {
+			return runResult{}, err
+		}
+		var a approach
+		if build != nil {
+			a, err = build(eng)
+			if err != nil {
+				return runResult{}, err
+			}
+		}
+		var res runResult
+		res.baseline = 1 << 62
+		res.elapsed = 1 << 62
+		for r := 0; r < reps; r++ {
+			if a.detach != nil {
+				a.detach()
+			}
+			_, dur, err := workload.RunMeasured(eng, queries, "base", "fig3")
+			if err != nil {
+				return runResult{}, err
+			}
+			if dur < res.baseline {
+				res.baseline = dur
+			}
+			if a.attach != nil {
+				a.attach()
+			}
+			_, dur, err = workload.RunMeasured(eng, queries, "bench", "fig3")
+			if err != nil {
+				return runResult{}, err
+			}
+			if dur < res.elapsed {
+				res.elapsed = dur
+			}
+		}
+		if a.reset != nil {
+			a.reset()
+		}
+		durations, _, err := workload.RunMeasured(eng, queries, "bench", "fig3")
+		if err != nil {
+			return runResult{}, err
+		}
+		res.truth = baseline.TopK(durations, cfg.K)
+		if a.stop != nil {
+			res.got, res.polls = a.stop()
+		}
+		if build == nil {
+			// The bare baseline: monitored == unmonitored by construction.
+			res.got = res.truth
+		}
+		return res, nil
+	}
+
+	var out []Fig3Row
+	emit := func(approach, param string, r runResult) {
+		row := Fig3Row{
+			Approach:  approach,
+			Param:     param,
+			ElapsedNs: r.elapsed.Nanoseconds(),
+			Missed:    baseline.Missed(r.truth, r.got),
+			Polls:     r.polls,
+		}
+		if r.baseline > 0 {
+			row.OverheadPct = 100 * float64(r.elapsed-r.baseline) / float64(r.baseline)
+		}
+		out = append(out, row)
+		if progress != nil {
+			fmt.Fprintf(progress, "fig3: %-14s %-8s elapsed=%-12v overhead=%6.2f%% missed=%d/%d polls=%d\n",
+				approach, param, r.elapsed, row.OverheadPct, row.Missed, cfg.K, row.Polls)
+		}
+	}
+
+	// 1. Unmonitored baseline (its "monitored" passes simply run bare).
+	base, err := measure("none", nil)
+	if err != nil {
+		return nil, err
+	}
+	base.got = base.truth // trivially exact: it IS the ground truth
+	emit("baseline", "", base)
+
+	// 2. SQLCM: top-k LAT + insert-on-commit rule; results read from the
+	// LAT (the paper persists it with the Persist action, exercised in
+	// examples/topk and the core tests).
+	r, err := measure("sqlcm", func(eng *engine.Engine) (approach, error) {
+		s := core.Attach(eng, core.Options{})
+		table, err := s.DefineLAT(topQLATSpec(cfg.K))
+		if err != nil {
+			return approach{}, err
+		}
+		if _, err := s.NewRule("topq", "Query.Commit", "", &rules.InsertAction{LAT: "TopQ"}); err != nil {
+			return approach{}, err
+		}
+		return approach{
+			attach: s.Resume,
+			detach: s.Suspend,
+			reset:  table.Reset,
+			stop: func() ([]baseline.TopEntry, int64) {
+				defer s.Detach()
+				got := make([]baseline.TopEntry, 0, cfg.K)
+				for _, row := range table.Rows() {
+					got = append(got, baseline.TopEntry{
+						Text:     row[0].Str(),
+						Duration: time.Duration(row[1].Float() * float64(time.Second)),
+					})
+				}
+				return got, 0
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	emit("SQLCM", "", r)
+
+	// 3. PULL at each interval: a fresh poller per monitored window.
+	for _, iv := range cfg.PollIntervals {
+		iv := iv
+		r, err := measure("pull-"+iv.String(), func(eng *engine.Engine) (approach, error) {
+			var p *baseline.Puller
+			var polls int64
+			return approach{
+				attach: func() {
+					p = baseline.NewPuller(eng, iv)
+					p.Start()
+				},
+				detach: func() {
+					if p != nil {
+						p.Stop()
+						polls += p.Polls()
+						p = nil
+					}
+				},
+				reset: func() {}, // attach always starts a fresh poller
+				stop: func() ([]baseline.TopEntry, int64) {
+					p.Stop()
+					polls += p.Polls()
+					return p.TopK(cfg.K), polls
+				},
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit("PULL", iv.String(), r)
+	}
+
+	// 4. PULL_history at each interval.
+	for _, iv := range cfg.PollIntervals {
+		iv := iv
+		r, err := measure("hist-"+iv.String(), func(eng *engine.Engine) (approach, error) {
+			rec := baseline.NewHistoryRecorder(eng)
+			var hp *baseline.HistoryPoller
+			return approach{
+				attach: func() {
+					eng.SetHooks(rec)
+					hp = baseline.NewHistoryPoller(rec, iv)
+					hp.Start()
+				},
+				detach: func() {
+					if hp != nil {
+						hp.Stop()
+						hp = nil
+					}
+					eng.SetHooks(nil)
+					rec.Drain()
+				},
+				reset: rec.Reset,
+				stop: func() ([]baseline.TopEntry, int64) {
+					if hp != nil {
+						hp.Stop()
+					}
+					eng.SetHooks(nil)
+					return rec.TopK(cfg.K), 0
+				},
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		emit("PULL_history", iv.String(), r)
+	}
+
+	// 5. Query_logging with forced synchronous writes.
+	r, err = measure("logging", func(eng *engine.Engine) (approach, error) {
+		logger, err := baseline.NewQueryLogger(eng, "query_log")
+		if err != nil {
+			return approach{}, err
+		}
+		logger.Sync = true // the paper forces synchronous writes here
+		return approach{
+			attach: func() { eng.SetHooks(logger) },
+			detach: func() { eng.SetHooks(nil) },
+			reset:  func() { _ = eng.TruncateTableDirect("query_log") },
+			stop: func() ([]baseline.TopEntry, int64) {
+				eng.SetHooks(nil)
+				got, err := logger.TopK(cfg.K)
+				if err != nil {
+					return nil, 0
+				}
+				return got, 0
+			},
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	emit("Query_logging", "", r)
+
+	return out, nil
+}

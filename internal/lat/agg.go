@@ -1,0 +1,256 @@
+package lat
+
+import (
+	"math"
+	"time"
+
+	"sqlcm/internal/sqltypes"
+)
+
+// aggState holds the accumulator for one aggregation column of one row.
+// Non-aging aggregates use the scalar fields; aging aggregates additionally
+// maintain a bounded list of time blocks (the paper's block-based moving
+// window: values are grouped into blocks spanning Δ, and whole blocks age
+// out once older than the window t).
+type aggState struct {
+	// non-aging scalar accumulators
+	count   int64
+	sum     float64
+	sumSq   float64
+	numeric int64
+	min     sqltypes.Value
+	max     sqltypes.Value
+	hasMM   bool
+	first   sqltypes.Value
+	last    sqltypes.Value
+	hasF    bool
+
+	// aging window
+	blocks []agingBlock
+}
+
+// agingBlock accumulates the values observed in one Δ-wide interval.
+type agingBlock struct {
+	start   time.Time
+	count   int64
+	sum     float64
+	sumSq   float64
+	numeric int64
+	min     sqltypes.Value
+	max     sqltypes.Value
+	hasMM   bool
+	first   sqltypes.Value
+	last    sqltypes.Value
+}
+
+func (a *aggState) init(spec *Spec, col *AggCol) {
+	a.min, a.max = sqltypes.Null, sqltypes.Null
+	a.first, a.last = sqltypes.Null, sqltypes.Null
+}
+
+// add folds one observation in.
+func (a *aggState) add(spec *Spec, col *AggCol, v sqltypes.Value, now time.Time) {
+	if col.Aging {
+		a.addAging(spec, v, now)
+		return
+	}
+	if !a.hasF {
+		a.first = v
+		a.hasF = true
+	}
+	a.last = v
+	if col.Func == Count && col.Attr == "" {
+		a.count++
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	if f, ok := v.AsFloat(); ok {
+		a.sum += f
+		a.sumSq += f * f
+		a.numeric++
+	}
+	if !a.hasMM {
+		a.min, a.max = v, v
+		a.hasMM = true
+	} else {
+		if sqltypes.Compare(v, a.min) < 0 {
+			a.min = v
+		}
+		if sqltypes.Compare(v, a.max) > 0 {
+			a.max = v
+		}
+	}
+}
+
+func (a *aggState) addAging(spec *Spec, v sqltypes.Value, now time.Time) {
+	a.expire(spec, now)
+	blockStart := now.Truncate(spec.AgingBlock)
+	var b *agingBlock
+	if n := len(a.blocks); n > 0 && !a.blocks[n-1].start.Before(blockStart) {
+		b = &a.blocks[n-1]
+	} else {
+		a.blocks = append(a.blocks, agingBlock{
+			start: blockStart,
+			min:   sqltypes.Null, max: sqltypes.Null,
+			first: sqltypes.Null, last: sqltypes.Null,
+		})
+		b = &a.blocks[len(a.blocks)-1]
+	}
+	if b.count == 0 {
+		b.first = v
+	}
+	b.last = v
+	b.count++
+	if v.IsNull() {
+		return
+	}
+	if f, ok := v.AsFloat(); ok {
+		b.sum += f
+		b.sumSq += f * f
+		b.numeric++
+	}
+	if !b.hasMM {
+		b.min, b.max = v, v
+		b.hasMM = true
+	} else {
+		if sqltypes.Compare(v, b.min) < 0 {
+			b.min = v
+		}
+		if sqltypes.Compare(v, b.max) > 0 {
+			b.max = v
+		}
+	}
+}
+
+// expire drops blocks entirely older than the window.
+func (a *aggState) expire(spec *Spec, now time.Time) {
+	cutoff := now.Add(-spec.AgingWindow)
+	i := 0
+	for i < len(a.blocks) && a.blocks[i].start.Add(spec.AgingBlock).Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		a.blocks = append(a.blocks[:0], a.blocks[i:]...)
+	}
+}
+
+// value materializes the aggregate's current output.
+func (a *aggState) value(spec *Spec, col *AggCol, now time.Time) sqltypes.Value {
+	if col.Aging {
+		return a.agingValue(spec, col, now)
+	}
+	switch col.Func {
+	case Count:
+		return sqltypes.NewInt(a.count)
+	case Sum:
+		if a.numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sum)
+	case Avg:
+		if a.numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(a.sum / float64(a.numeric))
+	case Stdev:
+		return stdevOf(a.numeric, a.sum, a.sumSq)
+	case Min:
+		return a.min
+	case Max:
+		return a.max
+	case First:
+		return a.first
+	case Last:
+		return a.last
+	default:
+		return sqltypes.Null
+	}
+}
+
+func (a *aggState) agingValue(spec *Spec, col *AggCol, now time.Time) sqltypes.Value {
+	a.expire(spec, now)
+	var count, numeric int64
+	var sum, sumSq float64
+	mn, mx := sqltypes.Null, sqltypes.Null
+	first, last := sqltypes.Null, sqltypes.Null
+	hasMM, hasF := false, false
+	for i := range a.blocks {
+		b := &a.blocks[i]
+		count += b.count
+		numeric += b.numeric
+		sum += b.sum
+		sumSq += b.sumSq
+		if b.hasMM {
+			if !hasMM {
+				mn, mx = b.min, b.max
+				hasMM = true
+			} else {
+				if sqltypes.Compare(b.min, mn) < 0 {
+					mn = b.min
+				}
+				if sqltypes.Compare(b.max, mx) > 0 {
+					mx = b.max
+				}
+			}
+		}
+		if b.count > 0 {
+			if !hasF {
+				first = b.first
+				hasF = true
+			}
+			last = b.last
+		}
+	}
+	switch col.Func {
+	case Count:
+		return sqltypes.NewInt(count)
+	case Sum:
+		if numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(sum)
+	case Avg:
+		if numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(sum / float64(numeric))
+	case Stdev:
+		return stdevOf(numeric, sum, sumSq)
+	case Min:
+		return mn
+	case Max:
+		return mx
+	case First:
+		return first
+	case Last:
+		return last
+	default:
+		return sqltypes.Null
+	}
+}
+
+func stdevOf(n int64, sum, sumSq float64) sqltypes.Value {
+	if n < 2 {
+		return sqltypes.Null
+	}
+	nf := float64(n)
+	variance := (sumSq - sum*sum/nf) / (nf - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	return sqltypes.NewFloat(math.Sqrt(variance))
+}
+
+// memSize approximates the accumulator footprint.
+func (a *aggState) memSize() int64 {
+	n := int64(96)
+	n += int64(a.min.MemSize() + a.max.MemSize() + a.first.MemSize() + a.last.MemSize())
+	for i := range a.blocks {
+		n += 96 + int64(a.blocks[i].min.MemSize()+a.blocks[i].max.MemSize()+
+			a.blocks[i].first.MemSize()+a.blocks[i].last.MemSize())
+	}
+	return n
+}

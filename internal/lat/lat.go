@@ -1,0 +1,712 @@
+// Package lat implements SQLCM's light-weight aggregation tables (LATs,
+// §4.3 of the paper): in-memory GROUP BY containers over monitored-object
+// attributes with
+//
+//   - grouping columns and aggregation columns (COUNT, SUM, AVG, MIN, MAX,
+//     STDEV, FIRST, LAST) plus aging (moving-window, block-based) variants,
+//   - ordering columns with a bounded size (rows or bytes) and
+//     least-important-first eviction backed by a heap,
+//   - latch-based concurrency (a table latch for the hash map and ordering
+//     heap, a per-row latch for aggregate state), and
+//   - snapshot/persist support.
+package lat
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlcm/internal/sqltypes"
+)
+
+// AggFunc enumerates the aggregation functions a LAT column can compute.
+type AggFunc uint8
+
+// Aggregation functions (paper §4.3).
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+	Stdev
+	First
+	Last
+)
+
+// String returns the SQL-ish name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Stdev:
+		return "STDEV"
+	case First:
+		return "FIRST"
+	case Last:
+		return "LAST"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// AggFuncFromName parses an aggregation function name.
+func AggFuncFromName(name string) (AggFunc, error) {
+	switch name {
+	case "COUNT":
+		return Count, nil
+	case "SUM":
+		return Sum, nil
+	case "AVG", "AVERAGE":
+		return Avg, nil
+	case "MIN":
+		return Min, nil
+	case "MAX":
+		return Max, nil
+	case "STDEV", "STDDEV":
+		return Stdev, nil
+	case "FIRST":
+		return First, nil
+	case "LAST":
+		return Last, nil
+	default:
+		return Count, fmt.Errorf("lat: unknown aggregation function %q", name)
+	}
+}
+
+// AggCol declares one aggregation column.
+type AggCol struct {
+	Func AggFunc
+	Attr string // source attribute of the monitored class ("" for COUNT)
+	Name string // output column name (referenced by rules as LAT.Name)
+	// Aging computes the moving-window version: only values newer than the
+	// table's AgingWindow contribute.
+	Aging bool
+}
+
+// OrderKey is one ordering column of the LAT.
+type OrderKey struct {
+	Col  string // an output column (grouping or aggregation) name
+	Desc bool
+}
+
+// Spec declares a LAT.
+type Spec struct {
+	Name    string
+	GroupBy []string // attribute names; also the output grouping columns
+	Aggs    []AggCol
+	// OrderBy determines both row ordering and eviction priority: when the
+	// size limit is exceeded, the row with the smallest ordering value
+	// (i.e. the last row in the declared order) is discarded.
+	OrderBy []OrderKey
+	// MaxRows bounds the row count (0 = unbounded).
+	MaxRows int
+	// MaxBytes bounds the approximate memory footprint (0 = unbounded).
+	MaxBytes int64
+	// AgingWindow is t: aging aggregates ignore values older than t.
+	AgingWindow time.Duration
+	// AgingBlock is Δ: the granularity at which old values age out. At
+	// most ceil(t/Δ)+1 blocks are retained per aging aggregate, matching
+	// the paper's 2t/Δ storage bound.
+	AgingBlock time.Duration
+}
+
+// validate checks internal consistency.
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("lat: spec needs a name")
+	}
+	if len(s.GroupBy) == 0 {
+		return fmt.Errorf("lat %s: at least one grouping column required", s.Name)
+	}
+	names := map[string]bool{}
+	for _, g := range s.GroupBy {
+		if names[g] {
+			return fmt.Errorf("lat %s: duplicate column %q", s.Name, g)
+		}
+		names[g] = true
+	}
+	hasAging := false
+	for _, a := range s.Aggs {
+		if a.Name == "" {
+			return fmt.Errorf("lat %s: aggregation column needs a name", s.Name)
+		}
+		if names[a.Name] {
+			return fmt.Errorf("lat %s: duplicate column %q", s.Name, a.Name)
+		}
+		names[a.Name] = true
+		if a.Func != Count && a.Attr == "" {
+			return fmt.Errorf("lat %s: %s(%s) needs a source attribute", s.Name, a.Func, a.Name)
+		}
+		if a.Aging {
+			hasAging = true
+		}
+	}
+	if hasAging {
+		if s.AgingWindow <= 0 || s.AgingBlock <= 0 {
+			return fmt.Errorf("lat %s: aging aggregates need AgingWindow and AgingBlock", s.Name)
+		}
+		if s.AgingBlock > s.AgingWindow {
+			return fmt.Errorf("lat %s: AgingBlock must not exceed AgingWindow", s.Name)
+		}
+	}
+	for _, o := range s.OrderBy {
+		if !names[o.Col] {
+			return fmt.Errorf("lat %s: ordering column %q is not an output column", s.Name, o.Col)
+		}
+	}
+	if (s.MaxRows > 0 || s.MaxBytes > 0) && len(s.OrderBy) == 0 {
+		return fmt.Errorf("lat %s: a size limit requires ordering columns (eviction priority)", s.Name)
+	}
+	return nil
+}
+
+// Columns returns the output column names: grouping columns then
+// aggregation columns.
+func (s Spec) Columns() []string {
+	out := append([]string{}, s.GroupBy...)
+	for _, a := range s.Aggs {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// AttrGetter supplies monitored-object attribute values during Insert.
+type AttrGetter func(attr string) (sqltypes.Value, bool)
+
+// Stats aggregates table counters.
+type Stats struct {
+	Inserts    int64
+	NewGroups  int64
+	Evictions  int64
+	MemBytes   int64
+	GroupCount int
+}
+
+// Table is a live LAT.
+type Table struct {
+	spec Spec
+	// Clock is injectable for deterministic aging tests.
+	clock func() time.Time
+
+	mu     sync.RWMutex // table latch: hash map + ordering heap
+	groups map[string]*row
+	order  rowHeap
+	mem    int64
+	// free recycles evicted rows (§6.1: "evicted leafs can be re-used for
+	// the newly inserted value, keeping memory fragmentation low").
+	free []*row
+
+	onEvict atomic.Value // func(EvictedRow)
+
+	inserts   atomic.Int64
+	newGroups atomic.Int64
+	evictions atomic.Int64
+}
+
+// row is one group's state.
+//
+// Latching discipline (mirrors the paper's per-row + structure latches):
+// the table latch protects the hash map, the ordering heap and heapIdx;
+// the row latch protects the aggregate state. The two are only ever taken
+// in the order table→row (eviction snapshots); inserts take the row latch,
+// release it, then take the table latch. Ordering-heap comparisons read
+// orderKey, an atomically published snapshot of the row's ordering-column
+// values, so they never need the row latch.
+type row struct {
+	mu       sync.Mutex // row latch: aggregate state, mem, live
+	key      string
+	groupVal []sqltypes.Value
+	aggs     []aggState
+	mem      int64
+	live     bool
+
+	heapIdx  int          // protected by the table latch
+	orderKey atomic.Value // []sqltypes.Value snapshot for heap ordering
+}
+
+// EvictedRow is delivered to the eviction callback; the paper exposes each
+// evicted row as a monitored object so rules can persist it.
+type EvictedRow struct {
+	Table   string
+	Columns []string
+	Values  []sqltypes.Value
+}
+
+// New creates a LAT from a spec.
+func New(spec Spec) (*Table, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		spec:   spec,
+		clock:  time.Now,
+		groups: make(map[string]*row),
+	}, nil
+}
+
+// SetClock injects a time source (tests).
+func (t *Table) SetClock(fn func() time.Time) { t.clock = fn }
+
+// SetOnEvict installs the eviction callback.
+func (t *Table) SetOnEvict(fn func(EvictedRow)) { t.onEvict.Store(fn) }
+
+// Spec returns the table's specification.
+func (t *Table) Spec() Spec { return t.spec }
+
+// Name returns the LAT name.
+func (t *Table) Name() string { return t.spec.Name }
+
+// Len returns the number of groups.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.groups)
+}
+
+// Stats returns a snapshot of counters.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	mem := t.mem
+	n := len(t.groups)
+	t.mu.RUnlock()
+	return Stats{
+		Inserts:    t.inserts.Load(),
+		NewGroups:  t.newGroups.Load(),
+		Evictions:  t.evictions.Load(),
+		MemBytes:   mem,
+		GroupCount: n,
+	}
+}
+
+// Insert folds one monitored object into the table: the object is assigned
+// to its group (creating it if needed), every aggregation column is
+// updated, and the size limit enforced (paper action Insert(LATName)).
+func (t *Table) Insert(get AttrGetter) error {
+	t.inserts.Add(1)
+	return t.insert(get)
+}
+
+// insert is Insert without the statistics update; eviction races retry
+// through it so one logical insert counts once.
+func (t *Table) insert(get AttrGetter) error {
+	now := t.clock()
+
+	groupVals := make([]sqltypes.Value, len(t.spec.GroupBy))
+	for i, attr := range t.spec.GroupBy {
+		v, ok := get(attr)
+		if !ok {
+			return fmt.Errorf("lat %s: object has no attribute %q", t.spec.Name, attr)
+		}
+		groupVals[i] = v
+	}
+	key := string(sqltypes.EncodeKey(groupVals...))
+
+	// Fast path: existing group under the read latch.
+	t.mu.RLock()
+	r := t.groups[key]
+	t.mu.RUnlock()
+
+	if r == nil {
+		t.mu.Lock()
+		r = t.groups[key]
+		if r == nil {
+			if n := len(t.free); n > 0 {
+				// Reuse an evicted row's memory. Reinitialization happens
+				// under the row latch: a stale updater that still holds a
+				// pointer to this row revalidates its key after latching.
+				r = t.free[n-1]
+				t.free = t.free[:n-1]
+				r.mu.Lock()
+				r.key = key
+				r.groupVal = groupVals
+				for i := range r.aggs {
+					r.aggs[i] = aggState{}
+					r.aggs[i].init(&t.spec, &t.spec.Aggs[i])
+				}
+				r.live = true
+				r.heapIdx = -1
+				r.mem = r.memSize()
+				r.orderKey.Store(t.orderKeyLocked(r, now))
+				r.mu.Unlock()
+			} else {
+				r = &row{key: key, groupVal: groupVals, heapIdx: -1, live: true}
+				r.aggs = make([]aggState, len(t.spec.Aggs))
+				for i := range r.aggs {
+					r.aggs[i].init(&t.spec, &t.spec.Aggs[i])
+				}
+				r.mem = r.memSize()
+				r.orderKey.Store(t.orderKeyLocked(r, now))
+			}
+			t.groups[key] = r
+			heap.Push(&rowHeapRef{t: t}, r)
+			t.mem += r.mem
+			t.newGroups.Add(1)
+		}
+		t.mu.Unlock()
+	}
+
+	// Update the row under its own latch. The key revalidation catches the
+	// eviction + reuse race: a row looked up before its group was evicted
+	// may belong to a different group by the time the latch is acquired.
+	r.mu.Lock()
+	if !r.live || r.key != key {
+		r.mu.Unlock()
+		return t.insert(get)
+	}
+	oldMem := r.mem
+	for i := range t.spec.Aggs {
+		col := &t.spec.Aggs[i]
+		var v sqltypes.Value
+		ok := true
+		if col.Attr != "" {
+			v, ok = get(col.Attr)
+		}
+		if !ok {
+			continue
+		}
+		r.aggs[i].add(&t.spec, col, v, now)
+	}
+	r.mem = r.memSize()
+	memDelta := r.mem - oldMem
+	r.orderKey.Store(t.orderKeyLocked(r, now))
+	r.mu.Unlock()
+
+	// Reposition in the ordering heap and enforce limits under the table
+	// latch. If the row was evicted between the latches, its (updated)
+	// memory was already subtracted by the evictor; skip accounting.
+	t.mu.Lock()
+	var evicted []EvictedRow
+	if t.groups[r.key] == r {
+		t.mem += memDelta
+		if r.heapIdx >= 0 && len(t.spec.OrderBy) > 0 {
+			heap.Fix(&rowHeapRef{t: t}, r.heapIdx)
+		}
+		evicted = t.enforceLimitsLocked(now)
+	}
+	t.mu.Unlock()
+	t.deliverEvictions(evicted)
+	return nil
+}
+
+// orderKeyLocked snapshots the row's ordering-column values. Caller holds
+// the row latch (or has exclusive access to a fresh row).
+func (t *Table) orderKeyLocked(r *row, now time.Time) []sqltypes.Value {
+	if len(t.spec.OrderBy) == 0 {
+		return []sqltypes.Value{}
+	}
+	out := make([]sqltypes.Value, len(t.spec.OrderBy))
+outer:
+	for i, o := range t.spec.OrderBy {
+		for gi, g := range t.spec.GroupBy {
+			if g == o.Col {
+				out[i] = r.groupVal[gi]
+				continue outer
+			}
+		}
+		for ai := range t.spec.Aggs {
+			if t.spec.Aggs[ai].Name == o.Col {
+				out[i] = r.aggs[ai].value(&t.spec, &t.spec.Aggs[ai], now)
+				continue outer
+			}
+		}
+		out[i] = sqltypes.Null
+	}
+	return out
+}
+
+// enforceLimitsLocked evicts least-important rows while over limits,
+// returning the evicted snapshots. Caller holds the table write latch;
+// eviction callbacks must be delivered after releasing it.
+func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
+	if t.spec.MaxRows == 0 && t.spec.MaxBytes == 0 {
+		return nil
+	}
+	// Snapshots of evicted rows are only materialized when a callback is
+	// installed (i.e. some rule listens on LATRow.Evicted).
+	fn, _ := t.onEvict.Load().(func(EvictedRow))
+	var out []EvictedRow
+	for {
+		over := false
+		if t.spec.MaxRows > 0 && len(t.groups) > t.spec.MaxRows {
+			over = true
+		}
+		if t.spec.MaxBytes > 0 && t.mem > t.spec.MaxBytes {
+			over = true
+		}
+		if !over || len(t.order) == 0 {
+			return out
+		}
+		victim := heap.Pop(&rowHeapRef{t: t}).(*row)
+		delete(t.groups, victim.key)
+		victim.mu.Lock()
+		victim.live = false
+		t.mem -= victim.mem
+		var vals []sqltypes.Value
+		if fn != nil {
+			vals = t.rowValuesRowLocked(victim, now)
+		}
+		victim.mu.Unlock()
+		if len(t.free) < 64 {
+			t.free = append(t.free, victim)
+		}
+		t.evictions.Add(1)
+		if fn != nil {
+			out = append(out, EvictedRow{
+				Table:   t.spec.Name,
+				Columns: t.spec.Columns(),
+				Values:  vals,
+			})
+		}
+	}
+}
+
+// deliverEvictions invokes the eviction callback outside all latches.
+func (t *Table) deliverEvictions(rows []EvictedRow) {
+	if len(rows) == 0 {
+		return
+	}
+	fn, _ := t.onEvict.Load().(func(EvictedRow))
+	if fn == nil {
+		return
+	}
+	for _, r := range rows {
+		fn(r)
+	}
+}
+
+// rowValues materializes the output values of a row (group then aggs).
+func (t *Table) rowValues(r *row, now time.Time) []sqltypes.Value {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return t.rowValuesRowLocked(r, now)
+}
+
+// rowValuesRowLocked is rowValues with the row latch already held.
+func (t *Table) rowValuesRowLocked(r *row, now time.Time) []sqltypes.Value {
+	out := make([]sqltypes.Value, 0, len(r.groupVal)+len(r.aggs))
+	out = append(out, r.groupVal...)
+	for i := range r.aggs {
+		out = append(out, r.aggs[i].value(&t.spec, &t.spec.Aggs[i], now))
+	}
+	return out
+}
+
+// Lookup returns the output values of the group matching the given
+// grouping-attribute values, in declared column order. The second result
+// reports whether a matching row exists (rules treat a missing row as a
+// false condition, §5.2).
+func (t *Table) Lookup(groupVals []sqltypes.Value) ([]sqltypes.Value, bool) {
+	key := string(sqltypes.EncodeKey(groupVals...))
+	t.mu.RLock()
+	r := t.groups[key]
+	t.mu.RUnlock()
+	if r == nil {
+		return nil, false
+	}
+	return t.rowValues(r, t.clock()), true
+}
+
+// LookupByGetter resolves the grouping attributes through an object
+// accessor and looks the group up.
+func (t *Table) LookupByGetter(get AttrGetter) ([]sqltypes.Value, bool) {
+	groupVals := make([]sqltypes.Value, len(t.spec.GroupBy))
+	for i, attr := range t.spec.GroupBy {
+		v, ok := get(attr)
+		if !ok {
+			return nil, false
+		}
+		groupVals[i] = v
+	}
+	return t.Lookup(groupVals)
+}
+
+// ColumnIndex returns the position of an output column, or -1.
+func (t *Table) ColumnIndex(col string) int {
+	for i, c := range t.spec.Columns() {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// Rows returns a snapshot of all rows in declared order (most important
+// first). Each row is the output values in column order.
+func (t *Table) Rows() [][]sqltypes.Value {
+	now := t.clock()
+	t.mu.RLock()
+	rows := make([]*row, len(t.order))
+	copy(rows, t.order)
+	t.mu.RUnlock()
+
+	out := make([][]sqltypes.Value, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, t.rowValues(r, now))
+	}
+	// Heap order is not sorted order: sort by the spec (most important
+	// first = reverse of eviction priority).
+	t.sortRows(out)
+	return out
+}
+
+// sortRows sorts materialized rows by the ordering spec, most important
+// first; without ordering columns the order is unspecified but stable.
+func (t *Table) sortRows(rows [][]sqltypes.Value) {
+	if len(t.spec.OrderBy) == 0 {
+		return
+	}
+	idx := make([]int, len(t.spec.OrderBy))
+	for i, o := range t.spec.OrderBy {
+		idx[i] = t.ColumnIndex(o.Col)
+	}
+	sortSliceStable(rows, func(a, b []sqltypes.Value) bool {
+		for i, o := range t.spec.OrderBy {
+			c := sqltypes.Compare(a[idx[i]], b[idx[i]])
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// Reset clears the table (paper action Reset(LATName)).
+func (t *Table) Reset() {
+	t.mu.Lock()
+	for _, r := range t.groups {
+		r.mu.Lock()
+		r.live = false
+		r.mu.Unlock()
+	}
+	t.groups = make(map[string]*row)
+	t.order = nil
+	t.mem = 0
+	t.mu.Unlock()
+}
+
+// Load replays persisted rows into the table as single observations (used
+// to carry LAT contents across server restarts, §4.3). Aggregates resume
+// approximately: each persisted AVG/SUM/… row is folded back as one
+// observation per aggregate column.
+func (t *Table) Load(rows [][]sqltypes.Value) error {
+	cols := t.spec.Columns()
+	for _, vals := range rows {
+		if len(vals) != len(cols) {
+			return fmt.Errorf("lat %s: load row has %d values, want %d", t.spec.Name, len(vals), len(cols))
+		}
+		attrByName := make(map[string]sqltypes.Value, len(cols))
+		for i, c := range cols {
+			attrByName[c] = vals[i]
+		}
+		err := t.Insert(func(attr string) (sqltypes.Value, bool) {
+			// Grouping attributes resolve by name; aggregation sources
+			// resolve through their output column value.
+			if v, ok := attrByName[attr]; ok {
+				return v, true
+			}
+			for i, a := range t.spec.Aggs {
+				if a.Attr == attr {
+					return vals[len(t.spec.GroupBy)+i], true
+				}
+			}
+			return sqltypes.Null, false
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- ordering heap (least important at the top) ---
+
+type rowHeap []*row
+
+// rowHeapRef adapts the table to heap.Interface with access to the spec.
+type rowHeapRef struct{ t *Table }
+
+func (h *rowHeapRef) Len() int { return len(h.t.order) }
+
+func (h *rowHeapRef) Less(i, j int) bool {
+	return h.t.lessImportant(h.t.order[i], h.t.order[j])
+}
+
+func (h *rowHeapRef) Swap(i, j int) {
+	o := h.t.order
+	o[i], o[j] = o[j], o[i]
+	o[i].heapIdx = i
+	o[j].heapIdx = j
+}
+
+func (h *rowHeapRef) Push(x interface{}) {
+	r := x.(*row)
+	r.heapIdx = len(h.t.order)
+	h.t.order = append(h.t.order, r)
+}
+
+func (h *rowHeapRef) Pop() interface{} {
+	o := h.t.order
+	r := o[len(o)-1]
+	r.heapIdx = -1
+	h.t.order = o[:len(o)-1]
+	return r
+}
+
+// lessImportant orders rows by eviction priority: true when a should be
+// evicted before b. It compares the atomically published ordering-key
+// snapshots, so it is safe under the table latch alone.
+func (t *Table) lessImportant(a, b *row) bool {
+	ak, _ := a.orderKey.Load().([]sqltypes.Value)
+	bk, _ := b.orderKey.Load().([]sqltypes.Value)
+	for i, o := range t.spec.OrderBy {
+		var av, bv sqltypes.Value
+		if i < len(ak) {
+			av = ak[i]
+		}
+		if i < len(bk) {
+			bv = bk[i]
+		}
+		c := sqltypes.Compare(av, bv)
+		if c == 0 {
+			continue
+		}
+		if o.Desc {
+			return c < 0 // descending spec: smallest is least important
+		}
+		return c > 0 // ascending spec: largest is least important
+	}
+	return false
+}
+
+// memSize approximates the row's footprint. Caller holds the row latch (or
+// has exclusive access).
+func (r *row) memSize() int64 {
+	var n int64 = 64
+	for _, v := range r.groupVal {
+		n += int64(v.MemSize())
+	}
+	for i := range r.aggs {
+		n += r.aggs[i].memSize()
+	}
+	return n
+}
+
+func sortSliceStable(rows [][]sqltypes.Value, less func(a, b []sqltypes.Value) bool) {
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}

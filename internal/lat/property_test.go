@@ -1,0 +1,240 @@
+package lat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sqlcm/internal/sqltypes"
+)
+
+// TestAggregatesMatchNaiveModel drives random observation streams through
+// a LAT and re-computes every aggregate naively from the raw stream,
+// checking exact agreement (modulo float summation order for STDEV).
+func TestAggregatesMatchNaiveModel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	tab, err := New(Spec{
+		Name:    "model",
+		GroupBy: []string{"g"},
+		Aggs: []AggCol{
+			{Func: Count, Name: "cnt"},
+			{Func: Count, Attr: "v", Name: "cntv"},
+			{Func: Sum, Attr: "v", Name: "sum"},
+			{Func: Avg, Attr: "v", Name: "avg"},
+			{Func: Min, Attr: "v", Name: "min"},
+			{Func: Max, Attr: "v", Name: "max"},
+			{Func: Stdev, Attr: "v", Name: "sd"},
+			{Func: First, Attr: "v", Name: "first"},
+			{Func: Last, Attr: "v", Name: "last"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type obs struct {
+		v    sqltypes.Value
+		null bool
+	}
+	model := map[int64][]obs{}
+
+	for step := 0; step < 5000; step++ {
+		g := int64(r.Intn(7))
+		var v sqltypes.Value
+		null := r.Intn(10) == 0
+		if !null {
+			v = sqltypes.NewFloat(math.Round(r.NormFloat64()*100) / 4)
+		}
+		model[g] = append(model[g], obs{v: v, null: null})
+		err := tab.Insert(obj(map[string]sqltypes.Value{
+			"g": sqltypes.NewInt(g),
+			"v": v,
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for g, stream := range model {
+		vals, ok := tab.Lookup([]sqltypes.Value{sqltypes.NewInt(g)})
+		if !ok {
+			t.Fatalf("group %d missing", g)
+		}
+		// Naive recomputation.
+		var cnt, cntv int64
+		var sum, sumSq float64
+		var mn, mx float64
+		// FIRST/LAST retain the value of the first/last inserted object,
+		// NULL or not (§4.3); numeric aggregates skip NULLs.
+		first := stream[0].v
+		last := stream[len(stream)-1].v
+		seen := false
+		for _, o := range stream {
+			cnt++
+			if o.null {
+				continue
+			}
+			f := o.v.Float()
+			cntv++
+			sum += f
+			sumSq += f * f
+			if !seen {
+				mn, mx = f, f
+				seen = true
+			} else {
+				if f < mn {
+					mn = f
+				}
+				if f > mx {
+					mx = f
+				}
+			}
+		}
+		// Column order: g, cnt, cntv, sum, avg, min, max, sd, first, last.
+		if vals[1].Int() != cnt {
+			t.Fatalf("group %d cnt: %v want %d", g, vals[1], cnt)
+		}
+		if vals[2].Int() != cntv {
+			t.Fatalf("group %d cntv: %v want %d", g, vals[2], cntv)
+		}
+		approx := func(got sqltypes.Value, want float64, name string) {
+			t.Helper()
+			if math.Abs(got.Float()-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("group %d %s: %v want %v", g, name, got, want)
+			}
+		}
+		if cntv > 0 {
+			approx(vals[3], sum, "sum")
+			approx(vals[4], sum/float64(cntv), "avg")
+			approx(vals[5], mn, "min")
+			approx(vals[6], mx, "max")
+			if sqltypes.Compare(vals[8], first) != 0 {
+				t.Fatalf("group %d first: %v want %v", g, vals[8], first)
+			}
+			if sqltypes.Compare(vals[9], last) != 0 {
+				t.Fatalf("group %d last: %v want %v", g, vals[9], last)
+			}
+		}
+		if cntv >= 2 {
+			variance := (sumSq - sum*sum/float64(cntv)) / float64(cntv-1)
+			if variance < 0 {
+				variance = 0
+			}
+			approx(vals[7], math.Sqrt(variance), "stdev")
+		}
+	}
+}
+
+// TestBoundedLATKeepsExactTopK cross-checks the eviction heap against a
+// naive top-k recomputation for random streams.
+func TestBoundedLATKeepsExactTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + r.Intn(12)
+		tab, err := New(Spec{
+			Name:    "topk",
+			GroupBy: []string{"id"},
+			Aggs:    []AggCol{{Func: Max, Attr: "v", Name: "v"}},
+			OrderBy: []OrderKey{{Col: "v", Desc: true}},
+			MaxRows: k,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 30 + r.Intn(200)
+		best := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			id := int64(r.Intn(50))
+			v := int64(r.Intn(10000)) // distinct-ish values
+			if cur, ok := best[id]; !ok || v > cur {
+				best[id] = v
+			}
+			err := tab.Insert(obj(map[string]sqltypes.Value{
+				"id": sqltypes.NewInt(id),
+				"v":  sqltypes.NewInt(v),
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Naive top-k values over groups (ties make membership ambiguous,
+		// so compare the value multiset).
+		var allVals []int64
+		for _, v := range best {
+			allVals = append(allVals, v)
+		}
+		sortDesc(allVals)
+		want := allVals
+		if len(want) > k {
+			want = want[:k]
+		}
+		rows := tab.Rows()
+		if len(rows) != len(want) {
+			t.Fatalf("trial %d: %d rows, want %d", trial, len(rows), len(want))
+		}
+		for i, row := range rows {
+			if row[1].Int() != want[i] {
+				t.Fatalf("trial %d row %d: %v want %d (k=%d)", trial, i, row[1], want[i], k)
+			}
+		}
+	}
+}
+
+func sortDesc(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] > s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestAgingMatchesNaiveWindow compares block-based aging aggregates against
+// an exact sliding-window recomputation at block granularity: since whole
+// blocks age out, the LAT's window [cutoff rounded down to a block, now]
+// always contains the exact window plus at most one partial block.
+func TestAgingMatchesNaiveWindow(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	window := 100 * int64(1e9) // 100s
+	block := 10 * int64(1e9)   // 10s
+
+	tab, _ := New(Spec{
+		Name:        "aging",
+		GroupBy:     []string{"g"},
+		Aggs:        []AggCol{{Func: Sum, Attr: "v", Name: "sum", Aging: true}},
+		AgingWindow: 100e9,
+		AgingBlock:  10e9,
+	})
+	nowNs := int64(1e15)
+	tab.SetClock(func() time.Time { return time.Unix(0, nowNs) })
+
+	type obs struct {
+		at int64
+		v  float64
+	}
+	var stream []obs
+	for i := 0; i < 2000; i++ {
+		nowNs += int64(r.Intn(2e9)) // advance 0-2s
+		v := float64(r.Intn(100))
+		stream = append(stream, obs{at: nowNs, v: v})
+		tab.Insert(obj(map[string]sqltypes.Value{ //nolint:errcheck
+			"g": sqltypes.NewInt(1), "v": sqltypes.NewFloat(v),
+		}))
+	}
+	vals, _ := tab.Lookup([]sqltypes.Value{sqltypes.NewInt(1)})
+	got := vals[1].Float()
+
+	// Exact bounds: everything in (now-window, now] must be included;
+	// nothing older than now-window-block may be included.
+	var lower, upper float64
+	for _, o := range stream {
+		if o.at > nowNs-window {
+			lower += o.v
+		}
+		if o.at > nowNs-window-block {
+			upper += o.v
+		}
+	}
+	if got < lower-1e-6 || got > upper+1e-6 {
+		t.Fatalf("aging sum %v outside [%v, %v]", got, lower, upper)
+	}
+}

@@ -1,0 +1,417 @@
+// Package monitor implements SQLCM's monitored classes (§2.2, Appendix A):
+// Query, Transaction, Blocker, Blocked and Timer, plus the LATRow class for
+// evicted aggregation-table rows. A monitored object is an attribute bag
+// whose values come from probes — instrumentation points in the engine —
+// assembled on demand at rule-evaluation time.
+package monitor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlcm/internal/engine"
+	"sqlcm/internal/signature"
+	"sqlcm/internal/sqltypes"
+)
+
+// Class names.
+const (
+	ClassQuery       = "Query"
+	ClassTransaction = "Transaction"
+	ClassBlocker     = "Blocker"
+	ClassBlocked     = "Blocked"
+	ClassTimer       = "Timer"
+	ClassLATRow      = "LATRow"
+)
+
+// Event identifies a monitored event: a class and an event name, written
+// Class.Name in rules (e.g. Query.Commit).
+type Event struct {
+	Class string
+	Name  string
+}
+
+// String renders Class.Name.
+func (e Event) String() string { return e.Class + "." + e.Name }
+
+// The events exposed by the current schema (§5.1).
+var (
+	EvQueryStart         = Event{ClassQuery, "Start"}
+	EvQueryCompile       = Event{ClassQuery, "Compile"}
+	EvQueryCommit        = Event{ClassQuery, "Commit"}
+	EvQueryCancel        = Event{ClassQuery, "Cancel"}
+	EvQueryRollback      = Event{ClassQuery, "Rollback"}
+	EvQueryBlocked       = Event{ClassQuery, "Blocked"}
+	EvQueryBlockReleased = Event{ClassQuery, "Block_Released"}
+	EvTxnCommit          = Event{ClassTransaction, "Commit"}
+	EvTxnRollback        = Event{ClassTransaction, "Rollback"}
+	EvTimerAlarm         = Event{ClassTimer, "Alarm"}
+	EvLATRowEvicted      = Event{ClassLATRow, "Evicted"}
+)
+
+// ParseEvent parses "Class.Name" into an Event, validating it against the
+// schema.
+func ParseEvent(s string) (Event, error) {
+	for _, ev := range []Event{
+		EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel,
+		EvQueryRollback, EvQueryBlocked, EvQueryBlockReleased,
+		EvTxnCommit, EvTxnRollback, EvTimerAlarm, EvLATRowEvicted,
+	} {
+		if ev.String() == s {
+			return ev, nil
+		}
+	}
+	return Event{}, fmt.Errorf("monitor: unknown event %q", s)
+}
+
+// Object is a monitored object: a typed attribute bag.
+type Object interface {
+	// Class returns the monitored class name.
+	Class() string
+	// Get returns the named attribute (a probe value).
+	Get(attr string) (sqltypes.Value, bool)
+}
+
+// Getter adapts an Object to the lat.AttrGetter shape.
+func Getter(o Object) func(string) (sqltypes.Value, bool) { return o.Get }
+
+// ---------------------------------------------------------------------------
+// Query objects
+// ---------------------------------------------------------------------------
+
+// Sigs carries the four signature values of a statement. The hex forms are
+// precomputed once per plan: probes read them on every rule evaluation.
+type Sigs struct {
+	Logical      signature.ID
+	Physical     signature.ID
+	LogicalHex   string
+	PhysicalHex  string
+	LogicalText  string
+	PhysicalText string
+}
+
+// SigCache memoizes per-plan signatures: the paper computes the signature
+// once during optimization and caches it with the query plan.
+type SigCache struct {
+	mu sync.Mutex
+	m  map[interface{}]*Sigs
+
+	computes int64 // number of actual computations (cache misses)
+}
+
+// NewSigCache returns an empty signature cache.
+func NewSigCache() *SigCache { return &SigCache{m: make(map[interface{}]*Sigs)} }
+
+// For returns the signatures for a compiled statement, computing them on
+// first sight of its (cached) plan.
+func (c *SigCache) For(q *engine.QueryInfo) *Sigs {
+	if q.Logical == nil {
+		return &Sigs{}
+	}
+	c.mu.Lock()
+	if s, ok := c.m[q.Logical]; ok {
+		c.mu.Unlock()
+		return s
+	}
+	c.mu.Unlock()
+	// Compute outside the lock; duplicate computation on a race is benign.
+	lid, ltext := signature.Logical(q.Logical)
+	pid, ptext := signature.Physical(q.Physical)
+	s := &Sigs{
+		Logical: lid, Physical: pid,
+		LogicalHex: lid.String(), PhysicalHex: pid.String(),
+		LogicalText: ltext, PhysicalText: ptext,
+	}
+	c.mu.Lock()
+	c.m[q.Logical] = s
+	c.computes++
+	c.mu.Unlock()
+	return s
+}
+
+// Computes returns the number of signature computations performed (cache
+// misses), a probe for the signature-overhead experiment.
+func (c *SigCache) Computes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.computes
+}
+
+// QueryObject exposes one statement as a monitored object with the
+// Appendix A attributes. Duration is fixed at event time for completion
+// events and live for in-flight observations (timer rules).
+type QueryObject struct {
+	class string // Query, Blocker or Blocked share this schema
+	Info  *engine.QueryInfo
+	Sig   *Sigs
+	// DurationAt, when non-negative, freezes the Duration attribute (set on
+	// Commit/Cancel/Rollback events).
+	DurationAt time.Duration
+	// WaitTime is the per-event lock wait (Blocked/Block_Released events
+	// and Blocked objects in release events).
+	WaitTime time.Duration
+}
+
+// NewQueryObject wraps info for the Query class.
+func NewQueryObject(info *engine.QueryInfo, sig *Sigs) *QueryObject {
+	return &QueryObject{class: ClassQuery, Info: info, Sig: sig, DurationAt: -1}
+}
+
+// NewBlockerObject wraps info for the Blocker class.
+func NewBlockerObject(info *engine.QueryInfo, sig *Sigs) *QueryObject {
+	return &QueryObject{class: ClassBlocker, Info: info, Sig: sig, DurationAt: -1}
+}
+
+// NewBlockedObject wraps info for the Blocked class with its current wait.
+func NewBlockedObject(info *engine.QueryInfo, sig *Sigs, wait time.Duration) *QueryObject {
+	return &QueryObject{class: ClassBlocked, Info: info, Sig: sig, DurationAt: -1, WaitTime: wait}
+}
+
+// Class implements Object.
+func (q *QueryObject) Class() string { return q.class }
+
+// Get implements Object. Durations are exposed in seconds (float), matching
+// the paper's examples ("Query.Duration > 100").
+func (q *QueryObject) Get(attr string) (sqltypes.Value, bool) {
+	info := q.Info
+	if info == nil {
+		return sqltypes.Null, false
+	}
+	switch attr {
+	case "ID":
+		return sqltypes.NewInt(info.ID), true
+	case "Session_ID":
+		return sqltypes.NewInt(info.SessionID), true
+	case "User":
+		return sqltypes.NewString(info.User), true
+	case "Application":
+		return sqltypes.NewString(info.App), true
+	case "Query_Text":
+		return sqltypes.NewString(info.Text), true
+	case "Query_Type":
+		return sqltypes.NewString(string(info.Type)), true
+	case "Logical_Signature":
+		if q.Sig == nil {
+			return sqltypes.Null, true
+		}
+		hex := q.Sig.LogicalHex
+		if hex == "" {
+			hex = q.Sig.Logical.String()
+		}
+		return sqltypes.NewString(hex), true
+	case "Physical_Signature":
+		if q.Sig == nil {
+			return sqltypes.Null, true
+		}
+		hex := q.Sig.PhysicalHex
+		if hex == "" {
+			hex = q.Sig.Physical.String()
+		}
+		return sqltypes.NewString(hex), true
+	case "Start_Time":
+		return sqltypes.NewTime(info.StartTime), true
+	case "Duration":
+		d := q.DurationAt
+		if d < 0 {
+			d = time.Since(info.StartTime)
+		}
+		return sqltypes.NewFloat(d.Seconds()), true
+	case "Estimated_Cost":
+		return sqltypes.NewFloat(info.EstimatedCost), true
+	case "Time_Blocked":
+		return sqltypes.NewFloat(info.TimeBlocked().Seconds()), true
+	case "Times_Blocked":
+		return sqltypes.NewInt(info.TimesBlocked()), true
+	case "Queries_Blocked":
+		return sqltypes.NewInt(info.QueriesBlocked()), true
+	case "Number_of_instances":
+		return sqltypes.NewInt(info.Instances), true
+	case "Wait_Time":
+		return sqltypes.NewFloat(q.WaitTime.Seconds()), true
+	default:
+		return sqltypes.Null, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Transaction objects
+// ---------------------------------------------------------------------------
+
+// TxnObject exposes one transaction with its signature sequence (§4.2:
+// logical/physical transaction signatures over the statement sequence
+// between the outermost BEGIN and COMMIT).
+type TxnObject struct {
+	Info     *engine.TxnInfo
+	Duration time.Duration
+	// Signature sequence accumulated over the transaction's statements.
+	LogicalSig  signature.ID
+	PhysicalSig signature.ID
+	NQueries    int64
+	TimeBlocked time.Duration
+}
+
+// Class implements Object.
+func (t *TxnObject) Class() string { return ClassTransaction }
+
+// Get implements Object.
+func (t *TxnObject) Get(attr string) (sqltypes.Value, bool) {
+	switch attr {
+	case "ID":
+		return sqltypes.NewInt(int64(t.Info.ID)), true
+	case "Session_ID":
+		return sqltypes.NewInt(t.Info.SessionID), true
+	case "User":
+		return sqltypes.NewString(t.Info.User), true
+	case "Application":
+		return sqltypes.NewString(t.Info.App), true
+	case "Start_Time":
+		return sqltypes.NewTime(t.Info.StartTime), true
+	case "Duration":
+		return sqltypes.NewFloat(t.Duration.Seconds()), true
+	case "Logical_Signature":
+		return sqltypes.NewString(t.LogicalSig.String()), true
+	case "Physical_Signature":
+		return sqltypes.NewString(t.PhysicalSig.String()), true
+	case "Number_of_instances":
+		return sqltypes.NewInt(t.NQueries), true
+	case "Time_Blocked":
+		return sqltypes.NewFloat(t.TimeBlocked.Seconds()), true
+	case "Implicit":
+		return sqltypes.NewBool(t.Info.Implicit), true
+	default:
+		return sqltypes.Null, false
+	}
+}
+
+// TxnTracker accumulates per-transaction statement signatures so the
+// Transaction object can expose transaction signatures at commit.
+type TxnTracker struct {
+	mu sync.Mutex
+	m  map[int64]*txnAccum // by txn id
+}
+
+type txnAccum struct {
+	logical     []signature.ID
+	physical    []signature.ID
+	nQueries    int64
+	timeBlocked time.Duration
+}
+
+// NewTxnTracker returns an empty tracker.
+func NewTxnTracker() *TxnTracker { return &TxnTracker{m: make(map[int64]*txnAccum)} }
+
+// Observe records one statement's signatures under its transaction.
+func (t *TxnTracker) Observe(txnID int64, s *Sigs, blocked time.Duration) {
+	t.mu.Lock()
+	a := t.m[txnID]
+	if a == nil {
+		a = &txnAccum{}
+		t.m[txnID] = a
+	}
+	a.logical = append(a.logical, s.Logical)
+	a.physical = append(a.physical, s.Physical)
+	a.nQueries++
+	a.timeBlocked += blocked
+	t.mu.Unlock()
+}
+
+// Finish closes a transaction, returning its object fields.
+func (t *TxnTracker) Finish(info *engine.TxnInfo, dur time.Duration) *TxnObject {
+	t.mu.Lock()
+	a := t.m[int64(info.ID)]
+	delete(t.m, int64(info.ID))
+	t.mu.Unlock()
+	obj := &TxnObject{Info: info, Duration: dur}
+	if a != nil {
+		obj.LogicalSig = signature.Transaction(a.logical)
+		obj.PhysicalSig = signature.Transaction(a.physical)
+		obj.NQueries = a.nQueries
+		obj.TimeBlocked = a.timeBlocked
+	}
+	return obj
+}
+
+// ---------------------------------------------------------------------------
+// Timer and LATRow objects
+// ---------------------------------------------------------------------------
+
+// TimerObject exposes a timer at alarm time.
+type TimerObject struct {
+	Name string
+	Now  time.Time
+	Seq  int64 // alarm sequence number
+}
+
+// Class implements Object.
+func (t *TimerObject) Class() string { return ClassTimer }
+
+// Get implements Object.
+func (t *TimerObject) Get(attr string) (sqltypes.Value, bool) {
+	switch attr {
+	case "Name":
+		return sqltypes.NewString(t.Name), true
+	case "Current_Time":
+		return sqltypes.NewTime(t.Now), true
+	case "Alarm_Count":
+		return sqltypes.NewInt(t.Seq), true
+	default:
+		return sqltypes.Null, false
+	}
+}
+
+// LATRowObject exposes an evicted LAT row as a monitored object (§4.3).
+type LATRowObject struct {
+	LAT     string
+	Columns []string
+	Values  []sqltypes.Value
+}
+
+// Class implements Object.
+func (r *LATRowObject) Class() string { return ClassLATRow }
+
+// Get implements Object.
+func (r *LATRowObject) Get(attr string) (sqltypes.Value, bool) {
+	if attr == "LAT" {
+		return sqltypes.NewString(r.LAT), true
+	}
+	for i, c := range r.Columns {
+		if c == attr {
+			return r.Values[i], true
+		}
+	}
+	return sqltypes.Null, false
+}
+
+// ---------------------------------------------------------------------------
+// Schema description (Appendix A)
+// ---------------------------------------------------------------------------
+
+// Attribute describes one probe in the schema.
+type Attribute struct {
+	Name string
+	Kind sqltypes.Kind
+	Doc  string
+}
+
+// QueryAttributes lists the Query/Blocker/Blocked schema.
+func QueryAttributes() []Attribute {
+	return []Attribute{
+		{Name: "ID", Kind: sqltypes.KindInt, Doc: "statement id"},
+		{Name: "Session_ID", Kind: sqltypes.KindInt, Doc: "owning session"},
+		{Name: "User", Kind: sqltypes.KindString, Doc: "user that issued the statement"},
+		{Name: "Application", Kind: sqltypes.KindString, Doc: "application name"},
+		{Name: "Query_Text", Kind: sqltypes.KindString, Doc: "statement text"},
+		{Name: "Query_Type", Kind: sqltypes.KindString, Doc: "SELECT/INSERT/UPDATE/DELETE"},
+		{Name: "Logical_Signature", Kind: sqltypes.KindString, Doc: "logical query signature"},
+		{Name: "Physical_Signature", Kind: sqltypes.KindString, Doc: "physical plan signature"},
+		{Name: "Start_Time", Kind: sqltypes.KindTime, Doc: "execution start"},
+		{Name: "Duration", Kind: sqltypes.KindFloat, Doc: "execution time in seconds"},
+		{Name: "Estimated_Cost", Kind: sqltypes.KindFloat, Doc: "optimizer cost estimate"},
+		{Name: "Time_Blocked", Kind: sqltypes.KindFloat, Doc: "total lock wait (s)"},
+		{Name: "Times_Blocked", Kind: sqltypes.KindInt, Doc: "lock wait count"},
+		{Name: "Queries_Blocked", Kind: sqltypes.KindInt, Doc: "# of queries blocked by this one"},
+		{Name: "Number_of_instances", Kind: sqltypes.KindInt, Doc: "executions of this plan"},
+		{Name: "Wait_Time", Kind: sqltypes.KindFloat, Doc: "wait of the current blocking event (s)"},
+	}
+}

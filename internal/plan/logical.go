@@ -1,0 +1,423 @@
+// Package plan implements the engine's query planner: construction of
+// logical plans from parsed statements, and a cost-based optimizer that
+// produces physical plans (access-path and join-strategy selection).
+//
+// The logical and physical plan trees are also the inputs to SQLCM's
+// signature computation (internal/signature): the logical query signature
+// linearizes the logical tree with constants wildcarded, the physical plan
+// signature linearizes the physical tree.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sqlcm/internal/catalog"
+	"sqlcm/internal/sqlparser"
+)
+
+// Logical is implemented by logical plan nodes.
+type Logical interface {
+	logicalNode()
+	// Describe renders the node (without children) for diagnostics.
+	Describe() string
+	// Children returns child nodes.
+	Children() []Logical
+}
+
+// LogicalScan reads a base table.
+type LogicalScan struct {
+	Table *catalog.Table
+	Alias string // effective alias (table name when none given)
+}
+
+func (*LogicalScan) logicalNode() {}
+
+// Describe implements Logical.
+func (s *LogicalScan) Describe() string {
+	if s.Alias != s.Table.Name {
+		return fmt.Sprintf("Scan(%s AS %s)", s.Table.Name, s.Alias)
+	}
+	return fmt.Sprintf("Scan(%s)", s.Table.Name)
+}
+
+// Children implements Logical.
+func (s *LogicalScan) Children() []Logical { return nil }
+
+// LogicalFilter applies a predicate.
+type LogicalFilter struct {
+	Pred  sqlparser.Expr
+	Child Logical
+}
+
+func (*LogicalFilter) logicalNode() {}
+
+// Describe implements Logical.
+func (f *LogicalFilter) Describe() string { return "Filter(" + f.Pred.String() + ")" }
+
+// Children implements Logical.
+func (f *LogicalFilter) Children() []Logical { return []Logical{f.Child} }
+
+// LogicalJoin is an inner join.
+type LogicalJoin struct {
+	Left, Right Logical
+	On          sqlparser.Expr
+}
+
+func (*LogicalJoin) logicalNode() {}
+
+// Describe implements Logical.
+func (j *LogicalJoin) Describe() string { return "Join(" + j.On.String() + ")" }
+
+// Children implements Logical.
+func (j *LogicalJoin) Children() []Logical { return []Logical{j.Left, j.Right} }
+
+// AggSpec is one aggregate computed by LogicalAgg.
+type AggSpec struct {
+	Func *sqlparser.FuncCall
+	Name string // output column name
+}
+
+// LogicalAgg groups and aggregates.
+type LogicalAgg struct {
+	GroupBy []sqlparser.Expr
+	Aggs    []AggSpec
+	Having  sqlparser.Expr // evaluated over group+agg outputs
+	Child   Logical
+}
+
+func (*LogicalAgg) logicalNode() {}
+
+// Describe implements Logical.
+func (a *LogicalAgg) Describe() string {
+	var parts []string
+	for _, g := range a.GroupBy {
+		parts = append(parts, g.String())
+	}
+	for _, ag := range a.Aggs {
+		parts = append(parts, ag.Func.String())
+	}
+	return "Agg(" + strings.Join(parts, ", ") + ")"
+}
+
+// Children implements Logical.
+func (a *LogicalAgg) Children() []Logical { return []Logical{a.Child} }
+
+// ProjItem is one output column of LogicalProject.
+type ProjItem struct {
+	Expr sqlparser.Expr
+	Name string
+}
+
+// LogicalProject computes the output columns.
+type LogicalProject struct {
+	Items []ProjItem
+	Child Logical
+}
+
+func (*LogicalProject) logicalNode() {}
+
+// Describe implements Logical.
+func (p *LogicalProject) Describe() string {
+	parts := make([]string, len(p.Items))
+	for i, it := range p.Items {
+		parts[i] = it.Expr.String()
+	}
+	return "Project(" + strings.Join(parts, ", ") + ")"
+}
+
+// Children implements Logical. A table-less SELECT has no child.
+func (p *LogicalProject) Children() []Logical {
+	if p.Child == nil {
+		return nil
+	}
+	return []Logical{p.Child}
+}
+
+// LogicalSort orders rows.
+type LogicalSort struct {
+	Items []sqlparser.OrderItem
+	Child Logical
+}
+
+func (*LogicalSort) logicalNode() {}
+
+// Describe implements Logical.
+func (s *LogicalSort) Describe() string {
+	parts := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		d := it.Expr.String()
+		if it.Desc {
+			d += " DESC"
+		}
+		parts[i] = d
+	}
+	return "Sort(" + strings.Join(parts, ", ") + ")"
+}
+
+// Children implements Logical.
+func (s *LogicalSort) Children() []Logical { return []Logical{s.Child} }
+
+// LogicalLimit truncates output.
+type LogicalLimit struct {
+	N     int64
+	Child Logical
+}
+
+func (*LogicalLimit) logicalNode() {}
+
+// Describe implements Logical.
+func (l *LogicalLimit) Describe() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Children implements Logical.
+func (l *LogicalLimit) Children() []Logical { return []Logical{l.Child} }
+
+// LogicalInsert inserts literal rows.
+type LogicalInsert struct {
+	Table   *catalog.Table
+	Columns []int // target ordinals, parallel to each row's exprs
+	Rows    [][]sqlparser.Expr
+}
+
+func (*LogicalInsert) logicalNode() {}
+
+// Describe implements Logical.
+func (i *LogicalInsert) Describe() string {
+	return fmt.Sprintf("Insert(%s, %d rows)", i.Table.Name, len(i.Rows))
+}
+
+// Children implements Logical.
+func (i *LogicalInsert) Children() []Logical { return nil }
+
+// LogicalUpdate updates rows matching Where.
+type LogicalUpdate struct {
+	Table *catalog.Table
+	Sets  []UpdateSet
+	Where sqlparser.Expr
+}
+
+// UpdateSet is one column assignment.
+type UpdateSet struct {
+	Column int
+	Expr   sqlparser.Expr
+}
+
+func (*LogicalUpdate) logicalNode() {}
+
+// Describe implements Logical.
+func (u *LogicalUpdate) Describe() string {
+	return fmt.Sprintf("Update(%s, %d sets)", u.Table.Name, len(u.Sets))
+}
+
+// Children implements Logical.
+func (u *LogicalUpdate) Children() []Logical { return nil }
+
+// LogicalDelete deletes rows matching Where.
+type LogicalDelete struct {
+	Table *catalog.Table
+	Where sqlparser.Expr
+}
+
+func (*LogicalDelete) logicalNode() {}
+
+// Describe implements Logical.
+func (d *LogicalDelete) Describe() string { return fmt.Sprintf("Delete(%s)", d.Table.Name) }
+
+// Children implements Logical.
+func (d *LogicalDelete) Children() []Logical { return nil }
+
+// DescribeTree renders a logical plan tree, one node per line.
+func DescribeTree(l Logical) string {
+	var b strings.Builder
+	var walk func(n Logical, depth int)
+	walk = func(n Logical, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Describe())
+		b.WriteString("\n")
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(l, 0)
+	return b.String()
+}
+
+// BuildLogical turns a parsed DML statement into a logical plan. DDL and
+// transaction-control statements are handled directly by the engine and are
+// rejected here.
+func BuildLogical(stmt sqlparser.Statement, cat *catalog.Catalog) (Logical, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.Select:
+		return buildSelect(s, cat)
+	case *sqlparser.Insert:
+		return buildInsert(s, cat)
+	case *sqlparser.Update:
+		return buildUpdate(s, cat)
+	case *sqlparser.Delete:
+		return buildDelete(s, cat)
+	default:
+		return nil, fmt.Errorf("plan: no logical plan for %T", stmt)
+	}
+}
+
+func buildSelect(s *sqlparser.Select, cat *catalog.Catalog) (Logical, error) {
+	var root Logical
+	if s.Table != "" {
+		t, err := cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		alias := s.Alias
+		if alias == "" {
+			alias = s.Table
+		}
+		root = &LogicalScan{Table: t, Alias: alias}
+		for _, j := range s.Joins {
+			jt, err := cat.Table(j.Table)
+			if err != nil {
+				return nil, err
+			}
+			ja := j.Alias
+			if ja == "" {
+				ja = j.Table
+			}
+			root = &LogicalJoin{
+				Left:  root,
+				Right: &LogicalScan{Table: jt, Alias: ja},
+				On:    j.On,
+			}
+		}
+	}
+	if s.Where != nil {
+		if root == nil {
+			return nil, fmt.Errorf("plan: WHERE without FROM")
+		}
+		root = &LogicalFilter{Pred: s.Where, Child: root}
+	}
+
+	// Aggregation: collect aggregate calls from select items, HAVING and
+	// ORDER BY.
+	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, it := range s.Items {
+		if !it.Star && sqlparser.IsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	var agg *LogicalAgg
+	if hasAgg {
+		if root == nil {
+			return nil, fmt.Errorf("plan: aggregation without FROM")
+		}
+		agg = &LogicalAgg{GroupBy: s.GroupBy, Having: s.Having, Child: root}
+		seen := map[string]bool{}
+		addAggs := func(e sqlparser.Expr) {
+			sqlparser.WalkExpr(e, func(x sqlparser.Expr) {
+				if f, ok := x.(*sqlparser.FuncCall); ok && sqlparser.AggregateFuncs[f.Name] {
+					key := f.String()
+					if !seen[key] {
+						seen[key] = true
+						agg.Aggs = append(agg.Aggs, AggSpec{Func: f, Name: key})
+					}
+				}
+			})
+		}
+		for _, it := range s.Items {
+			if !it.Star {
+				addAggs(it.Expr)
+			}
+		}
+		addAggs(s.Having)
+		for _, o := range s.OrderBy {
+			addAggs(o.Expr)
+		}
+		root = agg
+	}
+
+	// Projection.
+	proj := &LogicalProject{Child: root}
+	for _, it := range s.Items {
+		if it.Star {
+			if s.Table == "" {
+				return nil, fmt.Errorf("plan: SELECT * without FROM")
+			}
+			if hasAgg {
+				return nil, fmt.Errorf("plan: SELECT * with aggregation")
+			}
+			// Star expansion happens at optimization time when schemas are
+			// known; keep a marker item.
+			proj.Items = append(proj.Items, ProjItem{Expr: nil, Name: "*"})
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				name = c.Column
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		proj.Items = append(proj.Items, ProjItem{Expr: it.Expr, Name: name})
+	}
+	root = proj
+
+	if len(s.OrderBy) > 0 {
+		root = &LogicalSort{Items: s.OrderBy, Child: root}
+	}
+	if s.Limit >= 0 {
+		root = &LogicalLimit{N: s.Limit, Child: root}
+	}
+	return root, nil
+}
+
+func buildInsert(s *sqlparser.Insert, cat *catalog.Catalog) (Logical, error) {
+	t, err := cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var cols []int
+	if len(s.Columns) == 0 {
+		cols = make([]int, len(t.Columns))
+		for i := range cols {
+			cols[i] = i
+		}
+	} else {
+		cols = make([]int, len(s.Columns))
+		for i, name := range s.Columns {
+			ord := t.ColumnIndex(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("plan: no column %q in table %q", name, t.Name)
+			}
+			cols[i] = ord
+		}
+	}
+	for _, row := range s.Rows {
+		if len(row) != len(cols) {
+			return nil, fmt.Errorf("plan: INSERT row has %d values, want %d", len(row), len(cols))
+		}
+	}
+	return &LogicalInsert{Table: t, Columns: cols, Rows: s.Rows}, nil
+}
+
+func buildUpdate(s *sqlparser.Update, cat *catalog.Catalog) (Logical, error) {
+	t, err := cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]UpdateSet, len(s.Sets))
+	for i, a := range s.Sets {
+		ord := t.ColumnIndex(a.Column)
+		if ord < 0 {
+			return nil, fmt.Errorf("plan: no column %q in table %q", a.Column, t.Name)
+		}
+		sets[i] = UpdateSet{Column: ord, Expr: a.Expr}
+	}
+	return &LogicalUpdate{Table: t, Sets: sets, Where: s.Where}, nil
+}
+
+func buildDelete(s *sqlparser.Delete, cat *catalog.Catalog) (Logical, error) {
+	t, err := cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	return &LogicalDelete{Table: t, Where: s.Where}, nil
+}

@@ -1,0 +1,305 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/sqlparser"
+	"sqlcm/internal/sqltypes"
+)
+
+// refEval is an independent big-step reference interpreter for rule
+// conditions over a single object, used to cross-check the engine's
+// evaluator on randomly generated expressions. NULL propagation follows
+// SQL three-valued logic collapsed to {true, false} at the root
+// (condition semantics: non-true is false).
+type refValue struct {
+	null bool
+	f    float64
+}
+
+func refEvalExpr(e sqlparser.Expr, attrs map[string]float64, nulls map[string]bool) (refValue, error) {
+	switch x := e.(type) {
+	case *sqlparser.Literal:
+		if x.Val.IsNull() {
+			return refValue{null: true}, nil
+		}
+		f, ok := x.Val.AsFloat()
+		if !ok {
+			return refValue{}, fmt.Errorf("non-numeric literal")
+		}
+		return refValue{f: f}, nil
+	case *sqlparser.ColumnRef:
+		if nulls[x.Column] {
+			return refValue{null: true}, nil
+		}
+		v, ok := attrs[x.Column]
+		if !ok {
+			return refValue{}, fmt.Errorf("unknown attr %s", x.Column)
+		}
+		return refValue{f: v}, nil
+	case *sqlparser.Arith:
+		l, err := refEvalExpr(x.Left, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		r, err := refEvalExpr(x.Right, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		if l.null || r.null {
+			return refValue{null: true}, nil
+		}
+		switch x.Op.String() {
+		case "+":
+			return refValue{f: l.f + r.f}, nil
+		case "-":
+			return refValue{f: l.f - r.f}, nil
+		case "*":
+			return refValue{f: l.f * r.f}, nil
+		default:
+			return refValue{}, fmt.Errorf("op %s", x.Op)
+		}
+	case *sqlparser.Comparison:
+		l, err := refEvalExpr(x.Left, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		r, err := refEvalExpr(x.Right, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		if l.null || r.null {
+			return refValue{null: true}, nil
+		}
+		var b bool
+		switch x.Op {
+		case sqlparser.CmpEq:
+			b = l.f == r.f
+		case sqlparser.CmpNe:
+			b = l.f != r.f
+		case sqlparser.CmpLt:
+			b = l.f < r.f
+		case sqlparser.CmpLe:
+			b = l.f <= r.f
+		case sqlparser.CmpGt:
+			b = l.f > r.f
+		case sqlparser.CmpGe:
+			b = l.f >= r.f
+		}
+		return refValue{f: b2f(b)}, nil
+	case *sqlparser.Logic:
+		l, err := refEvalExpr(x.Left, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		r, err := refEvalExpr(x.Right, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		// Collapsed 3VL as the engine implements it for conditions:
+		// each side is "true" iff non-null and truthy.
+		lt := !l.null && l.f != 0
+		rt := !r.null && r.f != 0
+		if x.Op == sqlparser.LogicAnd {
+			return refValue{f: b2f(lt && rt)}, nil
+		}
+		return refValue{f: b2f(lt || rt)}, nil
+	case *sqlparser.Not:
+		v, err := refEvalExpr(x.Expr, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		return refValue{f: b2f(!(!v.null && v.f != 0))}, nil
+	case *sqlparser.Neg:
+		v, err := refEvalExpr(x.Expr, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		if v.null {
+			return refValue{null: true}, nil
+		}
+		return refValue{f: -v.f}, nil
+	case *sqlparser.IsNull:
+		v, err := refEvalExpr(x.Expr, attrs, nulls)
+		if err != nil {
+			return refValue{}, err
+		}
+		return refValue{f: b2f(v.null != x.Negate)}, nil
+	default:
+		return refValue{}, fmt.Errorf("node %T", e)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// genCondition produces a random condition string over attributes a..e.
+func genCondition(r *rand.Rand, depth int) string {
+	attrs := []string{"a", "b", "c", "d", "e"}
+	if depth <= 0 || r.Intn(4) == 0 {
+		// atomic comparison
+		lhs := genArith(r, attrs, 3)
+		rhs := genArith(r, attrs, 3)
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		if r.Intn(6) == 0 {
+			if r.Intn(2) == 0 {
+				return "(" + lhs + ") IS NULL"
+			}
+			return "(" + lhs + ") IS NOT NULL"
+		}
+		return lhs + " " + ops[r.Intn(len(ops))] + " " + rhs
+	}
+	switch r.Intn(3) {
+	case 0:
+		return "(" + genCondition(r, depth-1) + ") AND (" + genCondition(r, depth-1) + ")"
+	case 1:
+		return "(" + genCondition(r, depth-1) + ") OR (" + genCondition(r, depth-1) + ")"
+	default:
+		return "NOT (" + genCondition(r, depth-1) + ")"
+	}
+}
+
+func genArith(r *rand.Rand, attrs []string, depth int) string {
+	if depth <= 0 {
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%d", r.Intn(10))
+		}
+		return attrs[r.Intn(len(attrs))]
+	}
+	switch r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("%d", r.Intn(10))
+	case 1:
+		return attrs[r.Intn(len(attrs))]
+	case 2:
+		return "(" + genArith(r, attrs, depth-1) + " + " + genArith(r, attrs, depth-1) + ")"
+	default:
+		return "(" + genArith(r, attrs, depth-1) + " * " + genArith(r, attrs, depth-1) + ")"
+	}
+}
+
+func TestConditionEvaluatorMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	env := newFakeEnv()
+	e := NewEngine(env)
+
+	for trial := 0; trial < 2000; trial++ {
+		src := genCondition(r, 3)
+		cond, err := ParseCondition(src)
+		if err != nil {
+			t.Fatalf("generated condition does not parse: %q: %v", src, err)
+		}
+		attrs := map[string]float64{}
+		nulls := map[string]bool{}
+		objAttrs := map[string]sqltypes.Value{}
+		for _, a := range []string{"a", "b", "c", "d", "e"} {
+			if r.Intn(8) == 0 {
+				nulls[a] = true
+				objAttrs[a] = sqltypes.Null
+				continue
+			}
+			v := float64(r.Intn(7) - 3)
+			attrs[a] = v
+			objAttrs[a] = sqltypes.NewFloat(v)
+		}
+		obj := &fakeObj{class: monitor.ClassQuery, attrs: objAttrs}
+		ctx := &Ctx{Objects: map[string]monitor.Object{monitor.ClassQuery: obj}, Primary: obj}
+
+		got, err := e.evalCond(cond, ctx)
+		if err != nil {
+			t.Fatalf("engine eval of %q: %v", src, err)
+		}
+		ref, err := refEvalExpr(cond, attrs, nulls)
+		if err != nil {
+			t.Fatalf("reference eval of %q: %v", src, err)
+		}
+		want := !ref.null && ref.f != 0
+		if got != want {
+			t.Fatalf("trial %d: %q with attrs=%v nulls=%v: engine=%v reference=%v",
+				trial, src, attrs, nulls, got, want)
+		}
+	}
+}
+
+// TestConditionParsingRejectsGarbage ensures malformed conditions surface
+// as errors at rule-definition time, not at dispatch.
+func TestConditionParsingRejectsGarbage(t *testing.T) {
+	for _, src := range []string{
+		"Query.Duration >",
+		"AND Query.Duration",
+		"Query.Duration > 5 5",
+		"((Query.Duration > 1)",
+	} {
+		if _, err := ParseCondition(src); err == nil {
+			t.Errorf("ParseCondition(%q) should fail", src)
+		}
+	}
+	// Empty conditions are the "always fire" case.
+	if cond, err := ParseCondition("   "); err != nil || cond != nil {
+		t.Error("blank condition should be nil, nil")
+	}
+}
+
+// TestDispatchUnderConcurrentRuleChanges exercises add/remove/toggle while
+// events are being dispatched (rules can be changed dynamically, §3).
+func TestDispatchUnderConcurrentRuleChanges(t *testing.T) {
+	env := newFakeEnv()
+	e := NewEngine(env)
+	stop := make(chan struct{})
+	go func() {
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			name := fmt.Sprintf("dyn%d", i)
+			e.AddRule(&Rule{ //nolint:errcheck
+				Name: name, Event: monitor.EvQueryCommit,
+				Actions: []Action{&FuncAction{Fn: func(Env, *Ctx) error { return nil }}},
+			})
+			if r, ok := e.Rule(name); ok {
+				r.SetEnabled(false)
+				r.SetEnabled(true)
+			}
+			e.RemoveRule(name)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		dispatchQuery(e, queryObj(int64(i), "s", 1))
+	}
+	close(stop)
+}
+
+func TestFig2StyleConditionsParse(t *testing.T) {
+	// The harness builds long AND-chains; make sure a 50-atom condition
+	// parses and evaluates in one pass.
+	parts := make([]string, 50)
+	for i := range parts {
+		parts[i] = "Query.Duration >= 0"
+	}
+	cond, err := ParseCondition(strings.Join(parts, " AND "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newFakeEnv()
+	e := NewEngine(env)
+	obj := queryObj(1, "s", 5)
+	ok, err := e.evalCond(cond, &Ctx{
+		Objects: map[string]monitor.Object{monitor.ClassQuery: obj},
+		Primary: obj,
+	})
+	if err != nil || !ok {
+		t.Fatalf("50-atom condition: ok=%v err=%v", ok, err)
+	}
+}

@@ -1,0 +1,448 @@
+// Package rules implements SQLCM's ECA rule engine (§5): declarative
+// Event-Condition-Action rules evaluated synchronously in the thread that
+// raised the event, in fixed rule order, with conditions over monitored
+// object attributes and LAT columns, and a small set of actions (Insert,
+// Reset, Persist, SendMail, RunExternal, Cancel, Set).
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlcm/internal/lat"
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/sqlparser"
+	"sqlcm/internal/sqltypes"
+)
+
+// Ctx is the evaluation context of one rule invocation: the monitored
+// objects in scope, keyed by class.
+type Ctx struct {
+	Objects map[string]monitor.Object
+	// Primary is the object bound by the rule's event clause; unqualified
+	// and LAT-grouping attribute references resolve against it.
+	Primary monitor.Object
+}
+
+// Object returns the in-context object of a class.
+func (c *Ctx) Object(class string) (monitor.Object, bool) {
+	o, ok := c.Objects[class]
+	return o, ok
+}
+
+// Attr resolves an attribute reference: "Class.Name" against the class
+// object, a bare name against the primary object.
+func (c *Ctx) Attr(ref string) (sqltypes.Value, bool) {
+	if class, name, ok := strings.Cut(ref, "."); ok {
+		if o, found := c.Objects[class]; found {
+			return o.Get(name)
+		}
+		return sqltypes.Null, false
+	}
+	if c.Primary == nil {
+		return sqltypes.Null, false
+	}
+	return c.Primary.Get(ref)
+}
+
+// Env supplies the engine-side capabilities actions need. The core package
+// implements it over the database engine.
+type Env interface {
+	// LAT resolves a registered aggregation table.
+	LAT(name string) (*lat.Table, bool)
+	// Persist writes one row (with a timestamp column appended) to a
+	// disk-resident table, creating the table on first use.
+	Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error
+	// SendMail delivers a notification.
+	SendMail(addr, body string) error
+	// RunExternal launches an external command.
+	RunExternal(cmd string) error
+	// CancelQuery cancels a statement by id.
+	CancelQuery(id int64) bool
+	// SetTimer arms a named timer (§5.3 Set action): count alarms of the
+	// given period; count 0 disables, negative repeats forever.
+	SetTimer(name string, period time.Duration, count int) error
+	// ActiveQueryObjects returns all live Query objects (for rules whose
+	// condition references a class the event does not bind).
+	ActiveQueryObjects() []monitor.Object
+	// BlockPairObjects returns current (Blocker, Blocked) object pairs
+	// from the lock-wait graph.
+	BlockPairObjects() [][2]monitor.Object
+}
+
+// Action is one step of a rule's action list.
+type Action interface {
+	// Run executes the action; errors are recorded but do not stop later
+	// actions or corrupt rule ordering.
+	Run(env Env, ctx *Ctx) error
+	// Describe renders the action for diagnostics.
+	Describe() string
+}
+
+// Rule is one ECA rule.
+type Rule struct {
+	Name      string
+	Event     monitor.Event
+	Condition sqlparser.Expr // nil = always true
+	Actions   []Action
+
+	enabled atomic.Bool
+	// cond is the condition compiled to closures at registration time.
+	cond condFn
+	// classes referenced by the condition but not bound by the event; the
+	// engine iterates over all live objects of these classes (§5.2).
+	freeClasses []string
+	// lats referenced by the condition.
+	latRefs []string
+}
+
+// Enabled reports whether the rule participates in dispatch.
+func (r *Rule) Enabled() bool { return r.enabled.Load() }
+
+// SetEnabled toggles the rule (rules can be turned on/off dynamically, §3).
+func (r *Rule) SetEnabled(v bool) { r.enabled.Store(v) }
+
+// knownClasses is the set of monitored classes for reference resolution.
+var knownClasses = map[string]bool{
+	monitor.ClassQuery:       true,
+	monitor.ClassTransaction: true,
+	monitor.ClassBlocker:     true,
+	monitor.ClassBlocked:     true,
+	monitor.ClassTimer:       true,
+	monitor.ClassLATRow:      true,
+}
+
+// Engine evaluates rules. Rules fire in registration order; within one
+// event all applicable rules run before control returns to the engine
+// (§5: fixed order, synchronous, no recursive triggering — events raised
+// by actions are not dispatched re-entrantly).
+type Engine struct {
+	env Env
+
+	mu      sync.RWMutex
+	rules   []*Rule
+	byEvent map[monitor.Event]int // rule count per event (fast path)
+
+	evaluations atomic.Int64
+	fired       atomic.Int64
+	actionErrs  atomic.Int64
+}
+
+// NewEngine creates a rule engine over env.
+func NewEngine(env Env) *Engine {
+	return &Engine{env: env, byEvent: make(map[monitor.Event]int)}
+}
+
+// HasAnyRules reports whether any rule is registered at all; with no rules
+// the monitoring glue skips even probe assembly and signature computation.
+func (e *Engine) HasAnyRules() bool {
+	e.mu.RLock()
+	n := len(e.rules)
+	e.mu.RUnlock()
+	return n > 0
+}
+
+// HasRulesFor reports whether any rule listens on ev. The monitoring glue
+// uses it to skip object construction entirely when no rule needs the
+// event — "no monitoring is performed unless it is required by a rule"
+// (§2.1).
+func (e *Engine) HasRulesFor(ev monitor.Event) bool {
+	e.mu.RLock()
+	n := e.byEvent[ev]
+	e.mu.RUnlock()
+	return n > 0
+}
+
+// Stats reports rule-engine counters.
+type Stats struct {
+	Evaluations int64 // condition evaluations (one per object combination)
+	Fired       int64 // rule firings (condition true)
+	ActionErrs  int64
+	Rules       int
+}
+
+// Stats returns a snapshot of counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	n := len(e.rules)
+	e.mu.RUnlock()
+	return Stats{
+		Evaluations: e.evaluations.Load(),
+		Fired:       e.fired.Load(),
+		ActionErrs:  e.actionErrs.Load(),
+		Rules:       n,
+	}
+}
+
+// AddRule registers a rule (enabled). Rules added later evaluate later.
+func (e *Engine) AddRule(r *Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("rules: rule needs a name")
+	}
+	if r.Event.Class == "" {
+		return fmt.Errorf("rules: rule %q needs an event", r.Name)
+	}
+	if err := r.analyze(); err != nil {
+		return err
+	}
+	r.enabled.Store(true)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, existing := range e.rules {
+		if existing.Name == r.Name {
+			return fmt.Errorf("rules: duplicate rule %q", r.Name)
+		}
+	}
+	e.rules = append(e.rules, r)
+	e.byEvent[r.Event]++
+	return nil
+}
+
+// RemoveRule unregisters a rule by name.
+func (e *Engine) RemoveRule(name string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rules {
+		if r.Name == name {
+			e.rules = append(e.rules[:i:i], e.rules[i+1:]...)
+			e.byEvent[r.Event]--
+			return true
+		}
+	}
+	return false
+}
+
+// Rule returns a registered rule by name.
+func (e *Engine) Rule(name string) (*Rule, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for _, r := range e.rules {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Rules returns the registered rule names in evaluation order.
+func (e *Engine) Rules() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, len(e.rules))
+	for i, r := range e.rules {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// analyze compiles the condition and extracts its free classes and LAT
+// references.
+func (r *Rule) analyze() error {
+	classes := map[string]bool{}
+	lats := map[string]bool{}
+	sqlparser.WalkExpr(r.Condition, func(x sqlparser.Expr) {
+		c, ok := x.(*sqlparser.ColumnRef)
+		if !ok || c.Table == "" {
+			return
+		}
+		if knownClasses[c.Table] {
+			classes[c.Table] = true
+		} else {
+			lats[c.Table] = true
+		}
+	})
+	r.freeClasses = r.freeClasses[:0]
+	for cl := range classes {
+		if cl != r.Event.Class {
+			r.freeClasses = append(r.freeClasses, cl)
+		}
+	}
+	r.latRefs = r.latRefs[:0]
+	for l := range lats {
+		r.latRefs = append(r.latRefs, l)
+	}
+	fn, err := compileCond(r.Condition)
+	if err != nil {
+		return err
+	}
+	r.cond = fn
+	return nil
+}
+
+// Dispatch delivers one event with its bound objects to every matching
+// rule, synchronously in the caller's thread and in registration order
+// (§5: fixed rule order; all applicable rules run before the engine
+// resumes).
+func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
+	e.mu.RLock()
+	rules := e.rules
+	e.mu.RUnlock()
+
+	base := Ctx{Objects: objs, Primary: objs[ev.Class]}
+	if base.Primary == nil {
+		for _, o := range objs {
+			base.Primary = o
+			break
+		}
+	}
+	for _, r := range rules {
+		if r.Event != ev || !r.Enabled() {
+			continue
+		}
+		if len(r.freeClasses) == 0 {
+			e.evalRule(r, &base)
+			continue
+		}
+		for _, ctx := range e.expand(r, ev, objs) {
+			e.evalRule(r, ctx)
+		}
+	}
+}
+
+// evalRule evaluates one rule against one object combination.
+func (e *Engine) evalRule(r *Rule, ctx *Ctx) {
+	e.evaluations.Add(1)
+	if r.cond != nil {
+		ok, err := e.runCond(r.cond, ctx)
+		if err != nil {
+			e.actionErrs.Add(1)
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+	e.fired.Add(1)
+	for _, a := range r.Actions {
+		if err := a.Run(e.env, ctx); err != nil {
+			e.actionErrs.Add(1)
+		}
+	}
+}
+
+// expand produces the object combinations a rule evaluates over: the bound
+// event objects crossed with all live objects of every free class (§5.2).
+func (e *Engine) expand(r *Rule, ev monitor.Event, objs map[string]monitor.Object) []*Ctx {
+	base := &Ctx{Objects: objs, Primary: objs[ev.Class]}
+	if base.Primary == nil {
+		// Events like Timer.Alarm bind the timer object as primary.
+		for _, o := range objs {
+			base.Primary = o
+			break
+		}
+	}
+	out := []*Ctx{base}
+	for _, class := range r.freeClasses {
+		if _, bound := objs[class]; bound {
+			continue
+		}
+		var candidates []monitor.Object
+		switch class {
+		case monitor.ClassQuery:
+			candidates = e.env.ActiveQueryObjects()
+		case monitor.ClassBlocker, monitor.ClassBlocked:
+			// Blocker/Blocked come in pairs from the lock graph; bind both.
+			pairs := e.env.BlockPairObjects()
+			var next []*Ctx
+			for _, ctx := range out {
+				for _, p := range pairs {
+					objs2 := cloneObjs(ctx.Objects)
+					objs2[monitor.ClassBlocker] = p[0]
+					objs2[monitor.ClassBlocked] = p[1]
+					next = append(next, &Ctx{Objects: objs2, Primary: ctx.Primary})
+				}
+			}
+			out = next
+			continue
+		default:
+			// No live-object enumeration for this class: the reference
+			// cannot bind, so the rule evaluates over no combinations.
+			return nil
+		}
+		var next []*Ctx
+		for _, ctx := range out {
+			for _, cand := range candidates {
+				objs2 := cloneObjs(ctx.Objects)
+				objs2[class] = cand
+				next = append(next, &Ctx{Objects: objs2, Primary: ctx.Primary})
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+func cloneObjs(in map[string]monitor.Object) map[string]monitor.Object {
+	out := make(map[string]monitor.Object, len(in)+1)
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Condition evaluation
+// ---------------------------------------------------------------------------
+
+// evalCond compiles and evaluates a rule condition with filter semantics
+// (NULL→false). All LAT row references are implicitly ∃-quantified: a
+// missing matching row makes the condition false (§5.2). Registered rules
+// use the precompiled form via runCond; this helper serves ad-hoc
+// evaluation and tests.
+func (e *Engine) evalCond(cond sqlparser.Expr, ctx *Ctx) (bool, error) {
+	fn, err := compileCond(cond)
+	if err != nil {
+		return false, err
+	}
+	if fn == nil {
+		return true, nil
+	}
+	return e.runCond(fn, ctx)
+}
+
+// runCond evaluates a compiled condition against a context.
+func (e *Engine) runCond(fn condFn, ctx *Ctx) (bool, error) {
+	st := evalState{eng: e, ctx: ctx}
+	v, missing, err := fn(&st)
+	if err != nil || missing {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	return truthy(v), nil
+}
+
+func truthy(v sqltypes.Value) bool {
+	switch v.Kind() {
+	case sqltypes.KindBool, sqltypes.KindInt:
+		return v.Int() != 0
+	case sqltypes.KindFloat:
+		return v.Float() != 0
+	default:
+		return false
+	}
+}
+
+// ParseCondition parses a condition string (reusing the SQL expression
+// grammar: Class.Attr and LAT.Column references, arithmetic, comparisons,
+// AND/OR/NOT, brackets — exactly the operators of §5.2).
+func ParseCondition(src string) (sqlparser.Expr, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, nil
+	}
+	return sqlparser.ParseExpr(src)
+}
+
+// String renders the rule in the paper's Event/Condition/Action form.
+func (r *Rule) String() string {
+	cond := "TRUE"
+	if r.Condition != nil {
+		cond = r.Condition.String()
+	}
+	return fmt.Sprintf("%s: Event: %s Condition: %s Action: %s",
+		r.Name, r.Event, cond, describeActions(r.Actions))
+}

@@ -1,0 +1,109 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlcm/internal/monitor"
+)
+
+// TimerManager implements the Timer monitored class (§5.1): named timers
+// whose alarms dispatch Timer.Alarm events through the rule engine on a
+// background goroutine, used for rules that cannot be tied to a system
+// event (periodic reporting, watchdogs).
+type TimerManager struct {
+	engine *Engine
+
+	mu     sync.Mutex
+	timers map[string]*timerState
+	closed bool
+}
+
+type timerState struct {
+	name   string
+	cancel chan struct{}
+	seq    int64
+}
+
+// NewTimerManager creates a manager dispatching into engine.
+func NewTimerManager(engine *Engine) *TimerManager {
+	return &TimerManager{engine: engine, timers: make(map[string]*timerState)}
+}
+
+// Set arms (or re-arms, or with count 0 disables) the named timer: count
+// alarms separated by period; negative count repeats until disabled.
+func (m *TimerManager) Set(name string, period time.Duration, count int) error {
+	if name == "" {
+		return fmt.Errorf("rules: timer needs a name")
+	}
+	if count != 0 && period <= 0 {
+		return fmt.Errorf("rules: timer %q needs a positive period", name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("rules: timer manager closed")
+	}
+	// Re-arming stops the previous schedule.
+	if prev, ok := m.timers[name]; ok {
+		close(prev.cancel)
+		delete(m.timers, name)
+	}
+	if count == 0 {
+		return nil
+	}
+	st := &timerState{name: name, cancel: make(chan struct{})}
+	m.timers[name] = st
+	go m.run(st, period, count)
+	return nil
+}
+
+// Active returns the names of armed timers.
+func (m *TimerManager) Active() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.timers))
+	for n := range m.timers {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Close disables every timer.
+func (m *TimerManager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	for _, st := range m.timers {
+		close(st.cancel)
+	}
+	m.timers = make(map[string]*timerState)
+}
+
+func (m *TimerManager) run(st *timerState, period time.Duration, count int) {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	fired := 0
+	for {
+		select {
+		case <-st.cancel:
+			return
+		case now := <-ticker.C:
+			st.seq++
+			obj := &monitor.TimerObject{Name: st.name, Now: now, Seq: st.seq}
+			m.engine.Dispatch(monitor.EvTimerAlarm, map[string]monitor.Object{
+				monitor.ClassTimer: obj,
+			})
+			fired++
+			if count > 0 && fired >= count {
+				m.mu.Lock()
+				if cur, ok := m.timers[st.name]; ok && cur == st {
+					delete(m.timers, st.name)
+				}
+				m.mu.Unlock()
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package signature
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// genPredicate builds a random conjunctive/disjunctive predicate over the
+// items table together with a permuted-but-equivalent twin: same atoms,
+// shuffled conjunct order and randomly mirrored comparisons, with all
+// constants replaced by fresh random values (constants are wildcarded, so
+// they must not matter).
+func genPredicate(r *rand.Rand, atoms int) (a, b string) {
+	cols := []string{"id", "name", "qty"}
+	ops := []string{"=", "<", "<=", ">", ">="}
+	type atom struct{ col, op string }
+	var list []atom
+	for i := 0; i < atoms; i++ {
+		list = append(list, atom{col: cols[r.Intn(len(cols))], op: ops[r.Intn(len(ops))]})
+	}
+	render := func(at atom, val int, mirror bool) string {
+		if !mirror {
+			return fmt.Sprintf("%s %s %d", at.col, at.op, val)
+		}
+		m := map[string]string{"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+		return fmt.Sprintf("%d %s %s", val, m[at.op], at.col)
+	}
+	var partsA []string
+	for _, at := range list {
+		partsA = append(partsA, render(at, r.Intn(1000), false))
+	}
+	perm := r.Perm(len(list))
+	var partsB []string
+	for _, i := range perm {
+		partsB = append(partsB, render(list[i], r.Intn(1000), r.Intn(2) == 0))
+	}
+	return strings.Join(partsA, " AND "), strings.Join(partsB, " AND ")
+}
+
+// TestSignatureInvarianceFuzz checks, over many random predicates, that the
+// logical signature is invariant under (a) constant substitution,
+// (b) conjunct permutation and (c) comparison mirroring — and that adding
+// an extra atom changes it.
+func TestSignatureInvarianceFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	cat := testCatalog(t)
+	for trial := 0; trial < 300; trial++ {
+		atoms := 1 + r.Intn(5)
+		predA, predB := genPredicate(r, atoms)
+		sqlA := "SELECT name FROM items WHERE " + predA
+		sqlB := "SELECT name FROM items WHERE " + predB
+		sa := logicalSig(t, cat, sqlA)
+		sb := logicalSig(t, cat, sqlB)
+		if sa != sb {
+			t.Fatalf("trial %d: equivalent predicates disagree:\n  %s\n  %s", trial, sqlA, sqlB)
+		}
+		sqlC := sqlA + " AND qty = 1"
+		if sc := logicalSig(t, cat, sqlC); sc == sa {
+			// Adding a duplicate atom can legitimately collide when the
+			// original already contains "qty = <const>" (sets of sorted
+			// canonical conjuncts): only fail when no qty-equality existed.
+			if !strings.Contains(predA, "qty =") {
+				t.Fatalf("trial %d: extra conjunct did not change signature: %s", trial, sqlC)
+			}
+		}
+	}
+}
+
+// TestSignatureDispersion ensures distinct canonical templates never share
+// a signature across a broad grid of generated queries (two different SQL
+// texts with the same canonical form — e.g. swapped symmetric conjuncts —
+// are expected to share one).
+func TestSignatureDispersion(t *testing.T) {
+	cat := testCatalog(t)
+	seen := map[ID]string{} // signature -> canonical text
+	cols := []string{"id", "name", "qty"}
+	n := 0
+	for _, c1 := range cols {
+		for _, c2 := range cols {
+			if c1 == c2 {
+				continue
+			}
+			for _, op := range []string{"=", "<", ">"} {
+				for _, proj := range []string{"id", "name", "qty", "*"} {
+					sql := fmt.Sprintf("SELECT %s FROM items WHERE %s %s 1 AND %s > 2", proj, c1, op, c2)
+					id, canon := Logical(logicalOf(t, cat, sql))
+					if prev, dup := seen[id]; dup && prev != canon {
+						t.Fatalf("signature collision:\n  %s\n  %s", prev, canon)
+					}
+					seen[id] = canon
+					n++
+				}
+			}
+		}
+	}
+	if n < 50 {
+		t.Fatalf("dispersion test too small: %d", n)
+	}
+}

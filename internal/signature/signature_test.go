@@ -1,0 +1,337 @@
+package signature
+
+import (
+	"testing"
+
+	"sqlcm/internal/catalog"
+	"sqlcm/internal/plan"
+	"sqlcm/internal/sqlparser"
+	"sqlcm/internal/sqltypes"
+)
+
+func testCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	c := catalog.New()
+	if _, err := c.CreateTable("items", []catalog.Column{
+		{Name: "id", Type: sqltypes.KindInt, PrimaryKey: true, NotNull: true},
+		{Name: "name", Type: sqltypes.KindString},
+		{Name: "qty", Type: sqltypes.KindInt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("orders", []catalog.Column{
+		{Name: "oid", Type: sqltypes.KindInt, PrimaryKey: true, NotNull: true},
+		{Name: "item", Type: sqltypes.KindInt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.AddRows("items", 1000)
+	c.AddRows("orders", 1000)
+	return c
+}
+
+func logicalOf(t *testing.T, cat *catalog.Catalog, sql string) plan.Logical {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	l, err := plan.BuildLogical(stmt, cat)
+	if err != nil {
+		t.Fatalf("logical %q: %v", sql, err)
+	}
+	return l
+}
+
+func physicalOf(t *testing.T, cat *catalog.Catalog, sql string) plan.Physical {
+	t.Helper()
+	p, err := plan.Optimize(logicalOf(t, cat, sql), cat)
+	if err != nil {
+		t.Fatalf("optimize %q: %v", sql, err)
+	}
+	return p
+}
+
+func logicalSig(t *testing.T, cat *catalog.Catalog, sql string) ID {
+	id, _ := Logical(logicalOf(t, cat, sql))
+	return id
+}
+
+func TestSameTemplateDifferentConstants(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT name FROM items WHERE id = 1")
+	b := logicalSig(t, cat, "SELECT name FROM items WHERE id = 99999")
+	if a != b {
+		t.Fatal("constants must be wildcarded")
+	}
+	c := logicalSig(t, cat, "SELECT name FROM items WHERE id = 'x'")
+	if a != c {
+		t.Fatal("wildcards are type-blind, as in the paper")
+	}
+}
+
+func TestDifferentTemplatesDiffer(t *testing.T) {
+	cat := testCatalog(t)
+	sigs := map[ID]string{}
+	for _, sql := range []string{
+		"SELECT name FROM items WHERE id = 1",
+		"SELECT qty FROM items WHERE id = 1",
+		"SELECT name FROM items WHERE qty = 1",
+		"SELECT name FROM items WHERE id > 1",
+		"SELECT name FROM items",
+		"SELECT name FROM items WHERE id = 1 OR qty = 2",
+		"DELETE FROM items WHERE id = 1",
+		"UPDATE items SET qty = 2 WHERE id = 1",
+	} {
+		id := logicalSig(t, cat, sql)
+		if prev, dup := sigs[id]; dup {
+			t.Fatalf("collision: %q and %q", prev, sql)
+		}
+		sigs[id] = sql
+	}
+}
+
+func TestPredicateOrderInsensitive(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT name FROM items WHERE id = 1 AND qty > 2")
+	b := logicalSig(t, cat, "SELECT name FROM items WHERE qty > 2 AND id = 1")
+	if a != b {
+		t.Fatal("conjunct order must not matter")
+	}
+	c := logicalSig(t, cat, "SELECT name FROM items WHERE qty = 1 OR id = 2")
+	d := logicalSig(t, cat, "SELECT name FROM items WHERE id = 2 OR qty = 1")
+	if c != d {
+		t.Fatal("disjunct order must not matter")
+	}
+}
+
+func TestComparisonOrientationNormalized(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT name FROM items WHERE id = 5")
+	b := logicalSig(t, cat, "SELECT name FROM items WHERE 5 = id")
+	if a != b {
+		t.Fatal("value=col and col=value must match")
+	}
+	c := logicalSig(t, cat, "SELECT name FROM items WHERE id < 5")
+	d := logicalSig(t, cat, "SELECT name FROM items WHERE 5 > id")
+	if c != d {
+		t.Fatal("mirrored range comparisons must match")
+	}
+}
+
+func TestParameterSymbolization(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT name FROM items WHERE id = @key")
+	b := logicalSig(t, cat, "SELECT name FROM items WHERE id = @other_name")
+	if a != b {
+		t.Fatal("parameter names must not matter (positional symbols)")
+	}
+	// Same parameter twice differs from two distinct parameters.
+	c := logicalSig(t, cat, "SELECT name FROM items WHERE id = @p AND qty = @p")
+	d := logicalSig(t, cat, "SELECT name FROM items WHERE id = @p AND qty = @q")
+	if c == d {
+		t.Fatal("repeated vs distinct parameters must differ")
+	}
+	// A parameter is not the same as an ad-hoc constant wildcard.
+	e := logicalSig(t, cat, "SELECT name FROM items WHERE id = 3")
+	if a == e {
+		t.Fatal("param and constant templates are distinct")
+	}
+}
+
+func TestLimitConstantWildcarded(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT name FROM items ORDER BY qty LIMIT 5")
+	b := logicalSig(t, cat, "SELECT name FROM items ORDER BY qty LIMIT 50")
+	if a != b {
+		t.Fatal("LIMIT constant must be wildcarded")
+	}
+}
+
+func TestPhysicalSignatureTracksAccessPath(t *testing.T) {
+	cat := testCatalog(t)
+	// Same logical template; different physical plans (seek vs scan) when
+	// the index exists vs not.
+	pSeek := physicalOf(t, cat, "SELECT name FROM items WHERE id = 1")
+	sigSeek, _ := Physical(pSeek)
+
+	cat2 := catalog.New()
+	if _, err := cat2.CreateTable("items", []catalog.Column{
+		{Name: "id", Type: sqltypes.KindInt}, // no primary key → no index
+		{Name: "name", Type: sqltypes.KindString},
+		{Name: "qty", Type: sqltypes.KindInt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cat2.AddRows("items", 1000)
+	pScan := physicalOf(t, cat2, "SELECT name FROM items WHERE id = 1")
+	sigScan, _ := Physical(pScan)
+	if sigSeek == sigScan {
+		t.Fatal("physical signatures must distinguish seek from scan")
+	}
+
+	// And the logical signatures of the two nevertheless match.
+	l1, _ := Logical(logicalOf(t, cat, "SELECT name FROM items WHERE id = 1"))
+	l2, _ := Logical(logicalOf(t, cat2, "SELECT name FROM items WHERE id = 1"))
+	if l1 != l2 {
+		t.Fatal("logical signatures must not depend on physical design")
+	}
+}
+
+func TestPhysicalSignatureStableAcrossConstants(t *testing.T) {
+	cat := testCatalog(t)
+	a, _ := Physical(physicalOf(t, cat, "SELECT name FROM items WHERE id = 1"))
+	b, _ := Physical(physicalOf(t, cat, "SELECT name FROM items WHERE id = 2"))
+	if a != b {
+		t.Fatal("physical signature must wildcard constants")
+	}
+}
+
+func TestJoinSignatures(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT items.name FROM items JOIN orders ON items.id = orders.item WHERE orders.oid = 3")
+	b := logicalSig(t, cat, "SELECT items.name FROM items JOIN orders ON items.id = orders.item WHERE orders.oid = 77")
+	if a != b {
+		t.Fatal("join template must match across constants")
+	}
+	c := logicalSig(t, cat, "SELECT items.name FROM items JOIN orders ON items.id = orders.oid WHERE orders.oid = 3")
+	if a == c {
+		t.Fatal("different join conditions must differ")
+	}
+}
+
+func TestTransactionSignature(t *testing.T) {
+	s1, s2, s3 := ID(1), ID(2), ID(3)
+	a := Transaction([]ID{s1, s2})
+	b := Transaction([]ID{s1, s2})
+	if a != b {
+		t.Fatal("deterministic")
+	}
+	if Transaction([]ID{s1, s2}) == Transaction([]ID{s2, s1}) {
+		t.Fatal("order must matter (code paths!)")
+	}
+	if Transaction([]ID{s1}) == Transaction([]ID{s1, s3}) {
+		t.Fatal("length must matter")
+	}
+	if Transaction(nil) == Transaction([]ID{s1}) {
+		t.Fatal("empty differs from non-empty")
+	}
+}
+
+func TestCanonicalTextIsDeterministic(t *testing.T) {
+	cat := testCatalog(t)
+	for i := 0; i < 5; i++ {
+		_, t1 := Logical(logicalOf(t, cat, "SELECT name FROM items WHERE qty > 2 AND id = 1"))
+		_, t2 := Logical(logicalOf(t, cat, "SELECT name FROM items WHERE id = 1 AND qty > 2"))
+		if t1 != t2 {
+			t.Fatalf("canonical text differs:\n%s\n%s", t1, t2)
+		}
+	}
+}
+
+func TestAggregateSignatures(t *testing.T) {
+	cat := testCatalog(t)
+	a := logicalSig(t, cat, "SELECT qty, COUNT(*) FROM items GROUP BY qty HAVING COUNT(*) > 1")
+	b := logicalSig(t, cat, "SELECT qty, COUNT(*) FROM items GROUP BY qty HAVING COUNT(*) > 99")
+	if a != b {
+		t.Fatal("having constants wildcarded")
+	}
+	c := logicalSig(t, cat, "SELECT qty, SUM(id) FROM items GROUP BY qty")
+	if a == c {
+		t.Fatal("different aggregates differ")
+	}
+}
+
+func TestDMLAndExoticNodeSignatures(t *testing.T) {
+	cat := testCatalog(t)
+	// Statement families must produce distinct signatures, stable across
+	// constants, for every plan-node kind.
+	families := [][]string{
+		{"INSERT INTO items VALUES (1, 'a', 2)", "INSERT INTO items VALUES (9, 'z', 8)"},
+		{"INSERT INTO items (id, name) VALUES (1, 'a')", "INSERT INTO items (id, name) VALUES (7, 'q')"},
+		{"UPDATE items SET qty = qty + 1 WHERE id = 3", "UPDATE items SET qty = qty + 1 WHERE id = 99"},
+		{"DELETE FROM items WHERE qty < 2", "DELETE FROM items WHERE qty < 888"},
+		{"SELECT 1 + 2", "SELECT 5 + 6"}, // PhysValues
+		{"SELECT name FROM items WHERE id = 1 OR qty = 2", "SELECT name FROM items WHERE id = 7 OR qty = 9"},
+		{"SELECT i.name FROM items i JOIN orders o ON i.id < o.oid",
+			"SELECT i.name FROM items i JOIN orders o ON i.id < o.oid"}, // NLJoin
+		{"SELECT i.name FROM items i JOIN orders o ON i.qty = o.item",
+			"SELECT i.name FROM items i JOIN orders o ON i.qty = o.item"}, // HashJoin
+	}
+	seenL := map[ID]int{}
+	seenP := map[ID]int{}
+	for fi, fam := range families {
+		var l0, p0 ID
+		for qi, sql := range fam {
+			l := logicalSig(t, cat, sql)
+			p, _ := Physical(physicalOf(t, cat, sql))
+			if qi == 0 {
+				l0, p0 = l, p
+				if prev, dup := seenL[l]; dup {
+					t.Errorf("logical collision between families %d and %d", prev, fi)
+				}
+				if prev, dup := seenP[p]; dup {
+					t.Errorf("physical collision between families %d and %d", prev, fi)
+				}
+				seenL[l], seenP[p] = fi, fi
+				continue
+			}
+			if l != l0 {
+				t.Errorf("family %d: logical signature not constant-invariant (%s)", fi, sql)
+			}
+			if p != p0 {
+				t.Errorf("family %d: physical signature not constant-invariant (%s)", fi, sql)
+			}
+		}
+	}
+}
+
+func TestPhysicalAccessPathVariantsLinearize(t *testing.T) {
+	cat := testCatalog(t)
+	// Range, prefix and residual access paths all linearize distinctly.
+	variants := []string{
+		"SELECT name FROM items WHERE id >= 1 AND id < 9",
+		"SELECT name FROM items WHERE id >= 1",
+		"SELECT name FROM items WHERE id <= 9",
+		"SELECT name FROM items WHERE id = 1 AND qty > 2",
+		"SELECT name FROM items",
+	}
+	seen := map[ID]string{}
+	for _, sql := range variants {
+		p, text := Physical(physicalOf(t, cat, sql))
+		if prev, dup := seen[p]; dup {
+			t.Errorf("access-path collision: %q vs %q", prev, sql)
+		}
+		seen[p] = sql
+		if text == "" {
+			t.Errorf("empty canonical text for %q", sql)
+		}
+	}
+}
+
+func TestUnaryAndFunctionExprSignatures(t *testing.T) {
+	cat := testCatalog(t)
+	pairs := [][2]string{
+		{"SELECT name FROM items WHERE NOT qty > 1", "SELECT name FROM items WHERE NOT qty > 42"},
+		{"SELECT name FROM items WHERE qty IS NULL", "SELECT name FROM items WHERE qty IS NULL"},
+		{"SELECT name FROM items WHERE qty IS NOT NULL", "SELECT name FROM items WHERE qty IS NOT NULL"},
+		{"SELECT name FROM items WHERE -qty < 5", "SELECT name FROM items WHERE -qty < 50"},
+		{"SELECT ABS(qty) FROM items", "SELECT ABS(qty) FROM items"},
+	}
+	var ids []ID
+	for _, p := range pairs {
+		a := logicalSig(t, cat, p[0])
+		b := logicalSig(t, cat, p[1])
+		if a != b {
+			t.Errorf("pair %q / %q should share a signature", p[0], p[1])
+		}
+		ids = append(ids, a)
+	}
+	uniq := map[ID]bool{}
+	for _, id := range ids {
+		uniq[id] = true
+	}
+	if len(uniq) != len(ids) {
+		t.Errorf("expected %d distinct signatures, got %d", len(ids), len(uniq))
+	}
+}

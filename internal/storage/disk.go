@@ -1,0 +1,152 @@
+// Package storage implements the engine's storage layer: a page-based disk
+// manager (file-backed or in-memory), slotted record pages, a pinning
+// buffer pool with LRU eviction, and heap files for table data.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// PageSize is the size of every page in bytes.
+const PageSize = 8192
+
+// PageID identifies a page within a disk manager.
+type PageID int64
+
+// InvalidPageID marks "no page".
+const InvalidPageID PageID = -1
+
+// DiskManager persists fixed-size pages.
+type DiskManager interface {
+	// ReadPage fills buf (len PageSize) with the page contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page contents.
+	WritePage(id PageID, buf []byte) error
+	// AllocatePage reserves a fresh page and returns its id.
+	AllocatePage() (PageID, error)
+	// NumPages returns the number of allocated pages.
+	NumPages() int64
+	// Close releases resources.
+	Close() error
+}
+
+// MemDisk is an in-memory DiskManager, useful for tests.
+type MemDisk struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// ReadPage implements DiskManager.
+func (d *MemDisk) ReadPage(id PageID, buf []byte) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// WritePage implements DiskManager.
+func (d *MemDisk) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id < 0 || int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(d.pages[id], buf)
+	return nil
+}
+
+// AllocatePage implements DiskManager.
+func (d *MemDisk) AllocatePage() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return PageID(len(d.pages) - 1), nil
+}
+
+// NumPages implements DiskManager.
+func (d *MemDisk) NumPages() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return int64(len(d.pages))
+}
+
+// Close implements DiskManager.
+func (d *MemDisk) Close() error { return nil }
+
+// FileDisk is a DiskManager backed by a single OS file. Page i lives at
+// byte offset i*PageSize.
+type FileDisk struct {
+	mu   sync.Mutex
+	f    *os.File
+	next PageID
+}
+
+// NewFileDisk opens (creating if needed) the file at path as a page store.
+func NewFileDisk(path string) (*FileDisk, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileDisk{f: f, next: PageID(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements DiskManager.
+func (d *FileDisk) ReadPage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	next := d.next
+	d.mu.Unlock()
+	if id < 0 || id >= next {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	_, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// WritePage implements DiskManager.
+func (d *FileDisk) WritePage(id PageID, buf []byte) error {
+	d.mu.Lock()
+	next := d.next
+	d.mu.Unlock()
+	if id < 0 || id >= next {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	_, err := d.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// AllocatePage implements DiskManager.
+func (d *FileDisk) AllocatePage() (PageID, error) {
+	d.mu.Lock()
+	id := d.next
+	d.next++
+	d.mu.Unlock()
+	// Extend the file so ReadPage of a fresh page succeeds.
+	zero := make([]byte, PageSize)
+	if _, err := d.f.WriteAt(zero, int64(id)*PageSize); err != nil {
+		return InvalidPageID, err
+	}
+	return id, nil
+}
+
+// NumPages implements DiskManager.
+func (d *FileDisk) NumPages() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(d.next)
+}
+
+// Close implements DiskManager.
+func (d *FileDisk) Close() error { return d.f.Close() }

@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout (within a Page's Data):
+//
+//	offset 0:  numSlots   uint16
+//	offset 2:  freeEnd    uint16  (records grow down from PageSize toward the slot array)
+//	offset 4:  nextPage   int64   (heap-file chaining; InvalidPageID when none)
+//	offset 12: slot array, 4 bytes per slot: recOffset uint16, recLen uint16
+//	           recOffset == 0 means the slot is empty (offset 0 is inside the
+//	           header so it can never hold a record)
+//	...
+//	records packed at the tail
+const (
+	slottedHeaderSize = 12
+	slotSize          = 4
+)
+
+// Slot identifies a record position within a page.
+type Slot uint16
+
+// RID is a record identifier: page + slot.
+type RID struct {
+	Page PageID
+	Slot Slot
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// Less orders RIDs by page then slot.
+func (r RID) Less(o RID) bool {
+	if r.Page != o.Page {
+		return r.Page < o.Page
+	}
+	return r.Slot < o.Slot
+}
+
+// InitSlotted formats a page as an empty slotted record page.
+func InitSlotted(p *Page) {
+	for i := range p.Data {
+		p.Data[i] = 0
+	}
+	setNumSlots(p, 0)
+	setFreeEnd(p, PageSize)
+	SetNextPage(p, InvalidPageID)
+}
+
+func numSlots(p *Page) int       { return int(binary.LittleEndian.Uint16(p.Data[0:2])) }
+func setNumSlots(p *Page, n int) { binary.LittleEndian.PutUint16(p.Data[0:2], uint16(n)) }
+func freeEnd(p *Page) int        { return int(binary.LittleEndian.Uint16(p.Data[2:4])) }
+
+// setFreeEnd records where the packed-record area begins. PageSize (8192)
+// fits in uint16.
+func setFreeEnd(p *Page, n int) { binary.LittleEndian.PutUint16(p.Data[2:4], uint16(n)) }
+
+// NextPage returns the heap-chain successor recorded in the page header.
+func NextPage(p *Page) PageID {
+	return PageID(int64(binary.LittleEndian.Uint64(p.Data[4:12])) - 1)
+}
+
+// SetNextPage records the heap-chain successor in the page header.
+func SetNextPage(p *Page, id PageID) {
+	binary.LittleEndian.PutUint64(p.Data[4:12], uint64(int64(id)+1))
+}
+
+func slotEntry(p *Page, s Slot) (offset, length int) {
+	base := slottedHeaderSize + int(s)*slotSize
+	return int(binary.LittleEndian.Uint16(p.Data[base : base+2])),
+		int(binary.LittleEndian.Uint16(p.Data[base+2 : base+4]))
+}
+
+func setSlotEntry(p *Page, s Slot, offset, length int) {
+	base := slottedHeaderSize + int(s)*slotSize
+	binary.LittleEndian.PutUint16(p.Data[base:base+2], uint16(offset))
+	binary.LittleEndian.PutUint16(p.Data[base+2:base+4], uint16(length))
+}
+
+// SlottedFreeSpace returns the bytes available for a new record (including
+// its slot entry) on the page.
+func SlottedFreeSpace(p *Page) int {
+	free := freeEnd(p) - (slottedHeaderSize + numSlots(p)*slotSize)
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// SlottedInsert stores rec in the page and returns its slot. It fails with
+// errPageFull if the record does not fit.
+func SlottedInsert(p *Page, rec []byte) (Slot, error) {
+	if len(rec) == 0 || len(rec) > PageSize-slottedHeaderSize-slotSize {
+		return 0, fmt.Errorf("storage: record size %d out of range", len(rec))
+	}
+	n := numSlots(p)
+	// Reuse an empty slot if one exists.
+	slot := Slot(n)
+	reuse := false
+	for i := 0; i < n; i++ {
+		if off, _ := slotEntry(p, Slot(i)); off == 0 {
+			slot = Slot(i)
+			reuse = true
+			break
+		}
+	}
+	need := len(rec)
+	if !reuse {
+		need += slotSize
+	}
+	if SlottedFreeSpace(p) < need {
+		return 0, errPageFull
+	}
+	end := freeEnd(p)
+	start := end - len(rec)
+	copy(p.Data[start:end], rec)
+	setFreeEnd(p, start)
+	setSlotEntry(p, slot, start, len(rec))
+	if !reuse {
+		setNumSlots(p, n+1)
+	}
+	return slot, nil
+}
+
+var errPageFull = fmt.Errorf("storage: page full")
+
+// IsPageFull reports whether err indicates a full page.
+func IsPageFull(err error) bool { return err == errPageFull }
+
+// SlottedGet returns the record bytes at slot (aliasing the page buffer;
+// callers must copy if they retain it past the page latch).
+func SlottedGet(p *Page, s Slot) ([]byte, error) {
+	if int(s) >= numSlots(p) {
+		return nil, fmt.Errorf("storage: slot %d out of range", s)
+	}
+	off, length := slotEntry(p, s)
+	if off == 0 {
+		return nil, fmt.Errorf("storage: slot %d is empty", s)
+	}
+	return p.Data[off : off+length], nil
+}
+
+// SlottedDelete removes the record at slot. Space is reclaimed lazily via
+// compaction on demand.
+func SlottedDelete(p *Page, s Slot) error {
+	if int(s) >= numSlots(p) {
+		return fmt.Errorf("storage: slot %d out of range", s)
+	}
+	off, _ := slotEntry(p, s)
+	if off == 0 {
+		return fmt.Errorf("storage: slot %d already empty", s)
+	}
+	setSlotEntry(p, s, 0, 0)
+	return nil
+}
+
+// SlottedUpdate replaces the record at slot. If the new record fits in the
+// old space it is updated in place; otherwise it is re-inserted in the free
+// area (still on the same page) or, failing that, errPageFull is returned
+// so the caller can relocate the record.
+func SlottedUpdate(p *Page, s Slot, rec []byte) error {
+	if int(s) >= numSlots(p) {
+		return fmt.Errorf("storage: slot %d out of range", s)
+	}
+	off, length := slotEntry(p, s)
+	if off == 0 {
+		return fmt.Errorf("storage: slot %d is empty", s)
+	}
+	if len(rec) <= length {
+		copy(p.Data[off:off+len(rec)], rec)
+		setSlotEntry(p, s, off, len(rec))
+		return nil
+	}
+	// Grow: check whether the record fits once the page is compacted with
+	// the old version removed.
+	live := 0
+	n := numSlots(p)
+	for i := 0; i < n; i++ {
+		if o, l := slotEntry(p, Slot(i)); o != 0 && Slot(i) != s {
+			live += l
+		}
+	}
+	avail := PageSize - slottedHeaderSize - n*slotSize - live
+	if avail < len(rec) {
+		return errPageFull
+	}
+	setSlotEntry(p, s, 0, 0)
+	compactSlotted(p)
+	end := freeEnd(p)
+	start := end - len(rec)
+	copy(p.Data[start:end], rec)
+	setFreeEnd(p, start)
+	setSlotEntry(p, s, start, len(rec))
+	return nil
+}
+
+// SlottedScan calls fn for every live record on the page. Returning false
+// stops the scan.
+func SlottedScan(p *Page, fn func(s Slot, rec []byte) bool) {
+	n := numSlots(p)
+	for i := 0; i < n; i++ {
+		off, length := slotEntry(p, Slot(i))
+		if off == 0 {
+			continue
+		}
+		if !fn(Slot(i), p.Data[off:off+length]) {
+			return
+		}
+	}
+}
+
+// SlottedLiveCount returns the number of live records on the page.
+func SlottedLiveCount(p *Page) int {
+	count := 0
+	SlottedScan(p, func(Slot, []byte) bool { count++; return true })
+	return count
+}
+
+// compactSlotted repacks live records at the tail of the page, reclaiming
+// holes left by deletes and updates.
+func compactSlotted(p *Page) {
+	type rec struct {
+		slot Slot
+		data []byte
+	}
+	n := numSlots(p)
+	recs := make([]rec, 0, n)
+	for i := 0; i < n; i++ {
+		off, length := slotEntry(p, Slot(i))
+		if off == 0 {
+			continue
+		}
+		buf := make([]byte, length)
+		copy(buf, p.Data[off:off+length])
+		recs = append(recs, rec{slot: Slot(i), data: buf})
+	}
+	end := PageSize
+	for _, r := range recs {
+		start := end - len(r.data)
+		copy(p.Data[start:end], r.data)
+		setSlotEntry(p, r.slot, start, len(r.data))
+		end = start
+	}
+	setFreeEnd(p, end)
+}

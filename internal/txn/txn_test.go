@@ -1,0 +1,171 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sqlcm/internal/lock"
+)
+
+func newMgr() *Manager {
+	return NewManager(lock.NewManager(time.Second))
+}
+
+func TestBeginCommit(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	if tx.State() != Active || tx.ID == 0 {
+		t.Fatalf("bad txn: %+v", tx)
+	}
+	if m.Active() != 1 {
+		t.Fatalf("active = %d", m.Active())
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if tx.State() != Committed || m.Active() != 0 {
+		t.Fatal("commit did not finalize")
+	}
+	if err := m.Commit(tx); err == nil {
+		t.Fatal("double commit should fail")
+	}
+}
+
+func TestRollbackRunsUndoInReverse(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	var order []int
+	tx.OnRollback(func() error { order = append(order, 1); return nil })
+	tx.OnRollback(func() error { order = append(order, 2); return nil })
+	tx.OnRollback(func() error { order = append(order, 3); return nil })
+	if err := m.Rollback(tx); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 3 || order[2] != 1 {
+		t.Fatalf("undo order: %v", order)
+	}
+	if tx.State() != Aborted {
+		t.Fatal("state not aborted")
+	}
+}
+
+func TestCommitDiscardsUndo(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	ran := false
+	tx.OnRollback(func() error { ran = true; return nil })
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("undo ran on commit")
+	}
+}
+
+func TestRollbackCollectsUndoErrors(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	ran := 0
+	tx.OnRollback(func() error { ran++; return nil })
+	tx.OnRollback(func() error { ran++; return errors.New("boom") })
+	tx.OnRollback(func() error { ran++; return nil })
+	err := m.Rollback(tx)
+	if err == nil {
+		t.Fatal("undo error swallowed")
+	}
+	if ran != 3 {
+		t.Fatalf("undo actions run = %d, want all 3", ran)
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	if err := m.Locks().Acquire(tx.ID, lock.TableResource("t"), lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Another txn can now take the lock immediately.
+	tx2 := m.Begin(false)
+	if err := m.Locks().Acquire(tx2.ID, lock.TableResource("t"), lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.Commit(tx2)
+}
+
+func TestCancel(t *testing.T) {
+	m := newMgr()
+	tx := m.Begin(false)
+	if err := tx.CheckCancelled(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Cancel(tx.ID) {
+		t.Fatal("cancel of active txn failed")
+	}
+	if err := tx.CheckCancelled(); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("got %v", err)
+	}
+	if m.Cancel(999) {
+		t.Fatal("cancel of unknown txn succeeded")
+	}
+	m.Rollback(tx)
+}
+
+func TestCancelWakesLockWaiter(t *testing.T) {
+	m := NewManager(lock.NewManager(0))
+	holder := m.Begin(false)
+	if err := m.Locks().Acquire(holder.ID, lock.TableResource("t"), lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	waiter := m.Begin(false)
+	got := make(chan error, 1)
+	go func() {
+		got <- m.Locks().Acquire(waiter.ID, lock.TableResource("t"), lock.Exclusive)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	m.Cancel(waiter.ID)
+	select {
+	case err := <-got:
+		if err == nil {
+			t.Fatal("waiter acquired lock despite cancel")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not interrupt lock wait")
+	}
+	m.Commit(holder)
+	m.Rollback(waiter)
+}
+
+func TestImplicitFlagAndLookup(t *testing.T) {
+	m := newMgr()
+	a := m.Begin(true)
+	b := m.Begin(false)
+	if !a.Implicit() || b.Implicit() {
+		t.Fatal("implicit flags wrong")
+	}
+	got, ok := m.Lookup(b.ID)
+	if !ok || got != b {
+		t.Fatal("lookup failed")
+	}
+	m.Commit(a)
+	m.Commit(b)
+	if _, ok := m.Lookup(b.ID); ok {
+		t.Fatal("finished txn still active")
+	}
+}
+
+func TestUniqueMonotonicIDs(t *testing.T) {
+	m := newMgr()
+	var last lock.TxnID
+	for i := 0; i < 100; i++ {
+		tx := m.Begin(true)
+		if tx.ID <= last {
+			t.Fatalf("ids not monotonic: %d after %d", tx.ID, last)
+		}
+		last = tx.ID
+		m.Commit(tx)
+	}
+}
