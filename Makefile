@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race tier: the concurrency tests (striped LATs, copy-on-write rule
+# index, sharded caches, event bus) are only meaningful under -race.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1000x ./...
+
+ci:
+	./scripts/ci.sh

@@ -18,14 +18,17 @@ package sqlcm
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"sqlcm/internal/baseline"
 	"sqlcm/internal/core"
 	"sqlcm/internal/engine"
+	"sqlcm/internal/event"
 	"sqlcm/internal/harness"
 	"sqlcm/internal/lat"
+	"sqlcm/internal/monitor"
 	"sqlcm/internal/plan"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/signature"
@@ -386,5 +389,145 @@ func BenchmarkHarnessSignatureTable(b *testing.B) {
 		if _, err := harness.RunSignatureOverhead(100); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// A-PAR: hot-path scaling benchmarks. Each exercises one sharded/lock-free
+// structure from b.RunParallel so throughput can be compared across
+// -cpu values; on >= 4 cores the sharded paths should scale near-linearly
+// where the seed's single-mutex versions flatlined.
+// ---------------------------------------------------------------------------
+
+// nullEnv is a rules.Env that does nothing: dispatch benchmarks measure
+// index lookup + condition evaluation, not action side effects.
+type nullEnv struct{}
+
+func (nullEnv) LAT(string) (*lat.Table, bool) { return nil, false }
+func (nullEnv) Persist(string, []string, []sqltypes.Kind, []sqltypes.Value) error {
+	return nil
+}
+func (nullEnv) SendMail(string, string) error             { return nil }
+func (nullEnv) RunExternal(string) error                  { return nil }
+func (nullEnv) CancelQuery(int64) bool                    { return false }
+func (nullEnv) SetTimer(string, time.Duration, int) error { return nil }
+func (nullEnv) ActiveQueryObjects() []monitor.Object      { return nil }
+func (nullEnv) BlockPairObjects() [][2]monitor.Object     { return nil }
+
+// nopAction fires without side effects.
+type nopAction struct{}
+
+func (nopAction) Run(rules.Env, *rules.Ctx) error { return nil }
+func (nopAction) Describe() string                { return "nop" }
+
+// BenchmarkEventDispatchParallel pushes Query.Commit events through the
+// event bus into the rule engine's copy-on-write index from all procs.
+// The read side takes zero locks, so this should scale with cores.
+func BenchmarkEventDispatchParallel(b *testing.B) {
+	e := rules.NewEngine(nullEnv{})
+	cond, err := rules.ParseCondition("Query.Duration >= 0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := e.AddRule(&rules.Rule{
+			Name:      fmt.Sprintf("r%02d", i),
+			Event:     monitor.EvQueryCommit,
+			Condition: cond,
+			Actions:   []rules.Action{nopAction{}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bus := event.NewBus(e)
+	qi := &engine.QueryInfo{ID: 1, User: "bench", App: "bench", Text: "SELECT 1"}
+	obj := monitor.NewQueryObject(qi, &monitor.Sigs{})
+	obj.DurationAt = time.Millisecond
+	objs := map[string]monitor.Object{monitor.ClassQuery: obj}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			bus.Dispatch(monitor.EvQueryCommit, objs)
+		}
+	})
+	if bus.Total() != int64(b.N) {
+		b.Fatalf("bus counted %d events, want %d", bus.Total(), b.N)
+	}
+}
+
+// benchLATObserveParallel inserts into an unbounded striped LAT from all
+// procs. hot=false gives every goroutine its own key range (different
+// stripes, near-zero latch contention); hot=true forces every insert onto
+// one group so all procs fight over a single row latch.
+func benchLATObserveParallel(b *testing.B, hot bool) {
+	table, err := lat.New(lat.Spec{
+		Name:    "par",
+		GroupBy: []string{"Sig"},
+		Aggs: []lat.AggCol{
+			{Func: lat.Count, Name: "N"},
+			{Func: lat.Avg, Attr: "Dur", Name: "AvgD"},
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nextRange int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		base := atomic.AddInt64(&nextRange, 1) << 8
+		i := 0
+		for pb.Next() {
+			i++
+			key := int64(0) // hot: all procs hammer one group
+			if !hot {
+				key = base + int64(i%256) // distinct per-goroutine key range
+			}
+			sig := sqltypes.NewInt(key)
+			dur := sqltypes.NewFloat(float64(i % 100))
+			table.Insert(func(attr string) (sqltypes.Value, bool) { //nolint:errcheck
+				switch attr {
+				case "Sig":
+					return sig, true
+				case "Dur":
+					return dur, true
+				}
+				return sqltypes.Null, false
+			})
+		}
+	})
+}
+
+func BenchmarkLATObserveParallel(b *testing.B) {
+	b.Run("DistinctKeys", func(b *testing.B) { benchLATObserveParallel(b, false) })
+	b.Run("HotKey", func(b *testing.B) { benchLATObserveParallel(b, true) })
+}
+
+// BenchmarkSigCacheParallel hits the sharded signature cache from all
+// procs over a working set of pre-optimized plans (all hits after the
+// first round; the interesting number is lookup throughput).
+func BenchmarkSigCacheParallel(b *testing.B) {
+	eng := benchEngine(b, 200)
+	const plans = 32
+	infos := make([]*engine.QueryInfo, plans)
+	for i := range infos {
+		sql := fmt.Sprintf("SELECT l_quantity FROM lineitem WHERE l_id = %d", i+1)
+		l, p := sigBenchPlans(b, eng, sql)
+		infos[i] = &engine.QueryInfo{Logical: l, Physical: p}
+	}
+	c := monitor.NewSigCache()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			c.For(infos[i%plans])
+		}
+	})
+	// Every plan is computed at most once no matter how many procs raced.
+	if n := c.Computes(); n > plans {
+		b.Fatalf("Computes = %d, want <= %d", n, plans)
 	}
 }

@@ -1,10 +1,10 @@
-// Package core wires SQLCM together: it attaches to the database engine's
-// instrumentation hooks, assembles monitored objects from probes, and
-// drives the rule engine — all synchronously inside the server's execution
-// paths, exactly as the paper's architecture (Figure 1) prescribes. It also
-// owns the LAT registry, the timer manager, and the engine-side
-// implementations of the rule actions (Persist, SendMail, RunExternal,
-// Cancel, Set).
+// Package core wires SQLCM together: it attaches the event layer's hook
+// adapters to the database engine's instrumentation points and drives the
+// rule engine through the event bus — all synchronously inside the
+// server's execution paths, exactly as the paper's architecture (Figure 1)
+// prescribes. It also owns the LAT registry, the timer manager, and the
+// engine-side implementations of the rule actions (Persist, SendMail,
+// RunExternal, Cancel, Set).
 package core
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"sqlcm/internal/catalog"
 	"sqlcm/internal/engine"
+	"sqlcm/internal/event"
 	"sqlcm/internal/lat"
 	"sqlcm/internal/monitor"
 	"sqlcm/internal/rules"
@@ -94,6 +95,8 @@ type Options struct {
 type SQLCM struct {
 	eng     *engine.Engine
 	ruleEng *rules.Engine
+	bus     *event.Bus
+	hooks   *event.Hooks
 	timers  *rules.TimerManager
 	sigs    *monitor.SigCache
 	txns    *monitor.TxnTracker
@@ -104,9 +107,6 @@ type SQLCM struct {
 	lats  map[string]*lat.Table
 
 	attached atomic.Bool
-
-	// event counters, for the experiments
-	events atomic.Int64
 }
 
 // Attach creates an SQLCM instance and installs it into the engine's hook
@@ -128,8 +128,12 @@ func Attach(eng *engine.Engine, opts Options) *SQLCM {
 		s.runner = &MemRunner{}
 	}
 	s.ruleEng = rules.NewEngine((*env)(s))
-	s.timers = rules.NewTimerManager(s.ruleEng)
-	eng.SetHooks((*hooks)(s))
+	// All event intake — engine hooks, timer alarms, LAT evictions — goes
+	// through one bus in front of the rule engine.
+	s.bus = event.NewBus(s.ruleEng)
+	s.hooks = event.NewHooks(s.bus, s.sigs, s.txns)
+	s.timers = rules.NewTimerManager(s.bus)
+	eng.SetHooks(s.hooks)
 	s.attached.Store(true)
 	return s
 }
@@ -150,7 +154,7 @@ func (s *SQLCM) Detach() {
 func (s *SQLCM) Suspend() { s.eng.SetHooks(nil) }
 
 // Resume reinstalls the hook set after Suspend.
-func (s *SQLCM) Resume() { s.eng.SetHooks((*hooks)(s)) }
+func (s *SQLCM) Resume() { s.eng.SetHooks(s.hooks) }
 
 // Engine returns the monitored engine.
 func (s *SQLCM) Engine() *engine.Engine { return s.eng }
@@ -172,7 +176,11 @@ func (s *SQLCM) Runner() Runner { return s.runner }
 func (s *SQLCM) SigComputes() int64 { return s.sigs.Computes() }
 
 // Events reports how many monitored events were dispatched to rules.
-func (s *SQLCM) Events() int64 { return s.events.Load() }
+func (s *SQLCM) Events() int64 { return s.bus.Total() }
+
+// EventCounts reports per-event dispatch counts ("Class.Name" → count) for
+// events dispatched at least once.
+func (s *SQLCM) EventCounts() map[string]int64 { return s.bus.Counts() }
 
 // ---------------------------------------------------------------------------
 // LAT management
@@ -203,11 +211,11 @@ func (s *SQLCM) DefineLAT(spec lat.Spec) (*lat.Table, error) {
 // installEvictHook exposes a LAT's evicted rows as LATRow.Evicted events.
 func (s *SQLCM) installEvictHook(table *lat.Table) {
 	table.SetOnEvict(func(row lat.EvictedRow) {
-		if !s.ruleEng.HasRulesFor(monitor.EvLATRowEvicted) {
+		if !s.bus.Interested(monitor.EvLATRowEvicted) {
 			return
 		}
 		obj := &monitor.LATRowObject{LAT: row.Table, Columns: row.Columns, Values: row.Values}
-		s.ruleEng.Dispatch(monitor.EvLATRowEvicted, map[string]monitor.Object{
+		s.bus.Dispatch(monitor.EvLATRowEvicted, map[string]monitor.Object{
 			monitor.ClassLATRow: obj,
 		})
 	})
@@ -416,147 +424,4 @@ func kindsOf(row []sqltypes.Value) []sqltypes.Kind {
 		out[i] = v.Kind()
 	}
 	return out
-}
-
-// ---------------------------------------------------------------------------
-// engine.Hooks implementation
-// ---------------------------------------------------------------------------
-
-// hooks adapts SQLCM to the engine's instrumentation interface. Every
-// callback runs synchronously in the engine thread that raised it.
-type hooks SQLCM
-
-func (h *hooks) dispatch(ev monitor.Event, objs map[string]monitor.Object) {
-	s := (*SQLCM)(h)
-	s.events.Add(1)
-	s.ruleEng.Dispatch(ev, objs)
-}
-
-func (h *hooks) QueryStart(q *engine.QueryInfo) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasRulesFor(monitor.EvQueryStart) {
-		return
-	}
-	obj := monitor.NewQueryObject(q, nil)
-	h.dispatch(monitor.EvQueryStart, map[string]monitor.Object{monitor.ClassQuery: obj})
-}
-
-func (h *hooks) QueryCompiled(q *engine.QueryInfo) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasAnyRules() {
-		return // no rules: not even signatures are computed (§2.1)
-	}
-	// Signatures are computed (or fetched from the plan-side cache) here,
-	// mirroring the paper: computed during optimization, cached with the
-	// plan.
-	sig := s.sigs.For(q)
-	if !s.ruleEng.HasRulesFor(monitor.EvQueryCompile) {
-		return
-	}
-	obj := monitor.NewQueryObject(q, sig)
-	h.dispatch(monitor.EvQueryCompile, map[string]monitor.Object{monitor.ClassQuery: obj})
-}
-
-func (h *hooks) QueryCommit(q *engine.QueryInfo, dur time.Duration) {
-	s := (*SQLCM)(h)
-	needTxn := s.ruleEng.HasRulesFor(monitor.EvTxnCommit) || s.ruleEng.HasRulesFor(monitor.EvTxnRollback)
-	needCommit := s.ruleEng.HasRulesFor(monitor.EvQueryCommit)
-	if !needTxn && !needCommit {
-		return
-	}
-	sig := s.sigs.For(q)
-	// Track the statement for transaction signatures when transaction
-	// rules exist.
-	if needTxn {
-		s.txns.Observe(int64(q.TxnID), sig, q.TimeBlocked())
-	}
-	if !needCommit {
-		return
-	}
-	obj := monitor.NewQueryObject(q, sig)
-	obj.DurationAt = dur
-	h.dispatch(monitor.EvQueryCommit, map[string]monitor.Object{monitor.ClassQuery: obj})
-}
-
-func (h *hooks) QueryAbort(q *engine.QueryInfo, dur time.Duration, cancelled bool) {
-	s := (*SQLCM)(h)
-	ev := monitor.EvQueryRollback
-	if cancelled {
-		ev = monitor.EvQueryCancel
-	}
-	if !s.ruleEng.HasRulesFor(ev) {
-		return
-	}
-	obj := monitor.NewQueryObject(q, s.sigs.For(q))
-	obj.DurationAt = dur
-	h.dispatch(ev, map[string]monitor.Object{monitor.ClassQuery: obj})
-}
-
-func (h *hooks) QueryBlocked(ev engine.BlockEvent) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasRulesFor(monitor.EvQueryBlocked) {
-		return
-	}
-	waiter := monitor.NewQueryObject(ev.Waiter, s.sigs.For(ev.Waiter))
-	objs := map[string]monitor.Object{
-		monitor.ClassQuery:   waiter,
-		monitor.ClassBlocked: monitor.NewBlockedObject(ev.Waiter, s.sigs.For(ev.Waiter), 0),
-	}
-	// Bind the first resolvable holder as the Blocker (when several
-	// transactions share the resource one is designated, §6.1).
-	for _, holder := range ev.Holders {
-		if holder != nil {
-			objs[monitor.ClassBlocker] = monitor.NewBlockerObject(holder, s.sigs.For(holder))
-			break
-		}
-	}
-	h.dispatch(monitor.EvQueryBlocked, objs)
-}
-
-func (h *hooks) QueryUnblocked(ev engine.BlockEvent) {
-	// Counter updates happen in the engine; the Block_Released event is
-	// dispatched from the holder side (BlockReleased) where both objects
-	// of the pair are known.
-}
-
-func (h *hooks) BlockReleased(holder *engine.QueryInfo, waiters []engine.BlockEvent) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasRulesFor(monitor.EvQueryBlockReleased) {
-		return
-	}
-	blocker := monitor.NewBlockerObject(holder, s.sigs.For(holder))
-	for _, w := range waiters {
-		objs := map[string]monitor.Object{
-			monitor.ClassQuery:   monitor.NewQueryObject(w.Waiter, s.sigs.For(w.Waiter)),
-			monitor.ClassBlocker: blocker,
-			monitor.ClassBlocked: monitor.NewBlockedObject(w.Waiter, s.sigs.For(w.Waiter), w.Waited),
-		}
-		h.dispatch(monitor.EvQueryBlockReleased, objs)
-	}
-}
-
-func (h *hooks) TxnBegin(t *engine.TxnInfo) {}
-
-func (h *hooks) TxnCommit(t *engine.TxnInfo, dur time.Duration) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) && !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
-		return
-	}
-	obj := s.txns.Finish(t, dur)
-	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) {
-		return
-	}
-	h.dispatch(monitor.EvTxnCommit, map[string]monitor.Object{monitor.ClassTransaction: obj})
-}
-
-func (h *hooks) TxnRollback(t *engine.TxnInfo, dur time.Duration) {
-	s := (*SQLCM)(h)
-	if !s.ruleEng.HasRulesFor(monitor.EvTxnCommit) && !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
-		return
-	}
-	obj := s.txns.Finish(t, dur)
-	if !s.ruleEng.HasRulesFor(monitor.EvTxnRollback) {
-		return
-	}
-	h.dispatch(monitor.EvTxnRollback, map[string]monitor.Object{monitor.ClassTransaction: obj})
 }

@@ -1,0 +1,90 @@
+// Package event is the unified intake layer of the monitoring hot path.
+// Every monitored event — raised by an engine hook, a timer alarm, or a
+// LAT eviction — funnels through one Dispatch entry point on the Bus,
+// which counts it with a per-event atomic counter and forwards it to the
+// rule engine. The layer is wait-free on the caller side: counting is an
+// atomic add into a dense array indexed by the monitor schema's event
+// index, and the sink (the rule engine) resolves its rule list through a
+// lock-free copy-on-write index.
+//
+// Centralizing intake here (instead of hand-rolled plumbing in each hook
+// adapter) gives one choke point for observability today and for the
+// async/batched intake and multi-backend fan-out on the roadmap.
+package event
+
+import (
+	"sync/atomic"
+
+	"sqlcm/internal/monitor"
+)
+
+// Sink consumes dispatched events. The rule engine is the production sink.
+type Sink interface {
+	// Dispatch delivers one event with its bound objects, synchronously in
+	// the caller's thread.
+	Dispatch(ev monitor.Event, objs map[string]monitor.Object)
+	// HasRulesFor reports whether anything listens on ev, so callers can
+	// skip monitored-object assembly entirely (§2.1).
+	HasRulesFor(ev monitor.Event) bool
+	// HasAnyRules reports whether any listener exists at all.
+	HasAnyRules() bool
+}
+
+// Bus is the single event-dispatch entry point. It is safe for concurrent
+// use from any number of engine threads and adds no locks of its own.
+type Bus struct {
+	sink Sink
+	// counts is indexed by monitor.EventIndex; one atomic per schema event.
+	counts []atomic.Int64
+	// other counts events outside the schema (none today; kept so a future
+	// extension cannot silently lose counts).
+	other atomic.Int64
+	total atomic.Int64
+}
+
+// NewBus creates a bus forwarding into sink.
+func NewBus(sink Sink) *Bus {
+	return &Bus{sink: sink, counts: make([]atomic.Int64, monitor.NumEvents())}
+}
+
+// Dispatch counts and forwards one event. This is the only path by which
+// monitored events reach the rule engine.
+func (b *Bus) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
+	b.total.Add(1)
+	if i, ok := monitor.EventIndex(ev); ok {
+		b.counts[i].Add(1)
+	} else {
+		b.other.Add(1)
+	}
+	b.sink.Dispatch(ev, objs)
+}
+
+// Interested reports whether some rule listens on ev; hook adapters use it
+// to skip probe assembly when no rule needs the event.
+func (b *Bus) Interested(ev monitor.Event) bool { return b.sink.HasRulesFor(ev) }
+
+// Active reports whether any rule is registered at all.
+func (b *Bus) Active() bool { return b.sink.HasAnyRules() }
+
+// Total returns the number of events dispatched through the bus.
+func (b *Bus) Total() int64 { return b.total.Load() }
+
+// Count returns the number of dispatches of one schema event.
+func (b *Bus) Count(ev monitor.Event) int64 {
+	if i, ok := monitor.EventIndex(ev); ok {
+		return b.counts[i].Load()
+	}
+	return 0
+}
+
+// Counts returns a snapshot of the per-event dispatch counters, keyed by
+// the "Class.Name" event string, for events dispatched at least once.
+func (b *Bus) Counts() map[string]int64 {
+	out := make(map[string]int64)
+	for i, ev := range monitor.AllEvents() {
+		if n := b.counts[i].Load(); n > 0 {
+			out[ev.String()] = n
+		}
+	}
+	return out
+}

@@ -6,14 +6,16 @@
 //     STDEV, FIRST, LAST) plus aging (moving-window, block-based) variants,
 //   - ordering columns with a bounded size (rows or bytes) and
 //     least-important-first eviction backed by a heap,
-//   - latch-based concurrency (a table latch for the hash map and ordering
-//     heap, a per-row latch for aggregate state), and
+//   - latch-based concurrency (the group hash striped into shard latches,
+//     a small ordering latch for the eviction heap, a per-row latch for
+//     aggregate state), and
 //   - snapshot/persist support.
 package lat
 
 import (
 	"container/heap"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -194,19 +196,54 @@ type Stats struct {
 	GroupCount int
 }
 
+// latShards is the number of stripes the group hash is split into. A
+// power of two, so shard selection is a mask over the FNV hash of the
+// encoded grouping key. 16 stripes keep the probability of two concurrent
+// Observe calls on different groups colliding on one latch below ~6% at
+// realistic thread counts while costing ~2KB per table.
+const latShards = 16
+
+// maxFreePerShard bounds each shard's recycled-row pool (64 rows per
+// table, matching the seed's single free list).
+const maxFreePerShard = 4
+
+// latShard is one stripe of the group hash: a latch, the groups that hash
+// into the stripe, and a small pool of evicted rows for reuse (§6.1:
+// "evicted leafs can be re-used for the newly inserted value, keeping
+// memory fragmentation low").
+type latShard struct {
+	mu     sync.RWMutex
+	groups map[string]*row
+	free   []*row
+	_      [24]byte // pad shards onto distinct cache lines
+}
+
 // Table is a live LAT.
+//
+// Latching discipline (mirrors the paper's per-row + structure latches,
+// with the structure latch striped): shard latches protect the per-stripe
+// hash maps and free lists; the ordering latch protects the eviction heap
+// and every row's heapIdx; row latches protect aggregate state. Latches
+// nest only in the order orderMu → shard.mu → row.mu, so concurrent
+// Observe calls on different groups touch disjoint shard and row latches
+// and — in the unbounded case — never share a latch at all. Memory and
+// group counters are atomics. The ordering heap is maintained only when
+// the spec carries a size limit; an unbounded LAT pays no ordering latch.
 type Table struct {
 	spec Spec
 	// Clock is injectable for deterministic aging tests.
 	clock func() time.Time
 
-	mu     sync.RWMutex // table latch: hash map + ordering heap
-	groups map[string]*row
-	order  rowHeap
-	mem    int64
-	// free recycles evicted rows (§6.1: "evicted leafs can be re-used for
-	// the newly inserted value, keeping memory fragmentation low").
-	free []*row
+	shards [latShards]latShard
+
+	// bounded is true when the spec has MaxRows or MaxBytes: only then do
+	// inserts maintain the eviction heap under orderMu.
+	bounded bool
+	orderMu sync.Mutex // ordering latch: eviction heap + row heapIdx
+	order   rowHeap
+
+	mem     atomic.Int64
+	nGroups atomic.Int64
 
 	onEvict atomic.Value // func(EvictedRow)
 
@@ -217,23 +254,27 @@ type Table struct {
 
 // row is one group's state.
 //
-// Latching discipline (mirrors the paper's per-row + structure latches):
-// the table latch protects the hash map, the ordering heap and heapIdx;
-// the row latch protects the aggregate state. The two are only ever taken
-// in the order table→row (eviction snapshots); inserts take the row latch,
-// release it, then take the table latch. Ordering-heap comparisons read
-// orderKey, an atomically published snapshot of the row's ordering-column
-// values, so they never need the row latch.
+// The row latch protects the aggregate state, mem, live and key; heapIdx
+// is protected by the table's ordering latch. Ordering-heap comparisons
+// read orderKey, an atomically published snapshot of the row's
+// ordering-column values, so they never need the row latch.
 type row struct {
-	mu       sync.Mutex // row latch: aggregate state, mem, live
+	mu       sync.Mutex // row latch: aggregate state, mem, live, key
 	key      string
 	groupVal []sqltypes.Value
 	aggs     []aggState
 	mem      int64
 	live     bool
 
-	heapIdx  int          // protected by the table latch
+	heapIdx  int          // protected by the ordering latch
 	orderKey atomic.Value // []sqltypes.Value snapshot for heap ordering
+}
+
+// shardFor picks the stripe for an encoded grouping key.
+func (t *Table) shardFor(key string) *latShard {
+	h := fnv.New64a()
+	h.Write([]byte(key)) //nolint:errcheck
+	return &t.shards[h.Sum64()&(latShards-1)]
 }
 
 // EvictedRow is delivered to the eviction callback; the paper exposes each
@@ -249,11 +290,15 @@ func New(spec Spec) (*Table, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	return &Table{
-		spec:   spec,
-		clock:  time.Now,
-		groups: make(map[string]*row),
-	}, nil
+	t := &Table{
+		spec:    spec,
+		clock:   time.Now,
+		bounded: spec.MaxRows > 0 || spec.MaxBytes > 0,
+	}
+	for i := range t.shards {
+		t.shards[i].groups = make(map[string]*row)
+	}
+	return t, nil
 }
 
 // SetClock injects a time source (tests).
@@ -269,24 +314,16 @@ func (t *Table) Spec() Spec { return t.spec }
 func (t *Table) Name() string { return t.spec.Name }
 
 // Len returns the number of groups.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.groups)
-}
+func (t *Table) Len() int { return int(t.nGroups.Load()) }
 
 // Stats returns a snapshot of counters.
 func (t *Table) Stats() Stats {
-	t.mu.RLock()
-	mem := t.mem
-	n := len(t.groups)
-	t.mu.RUnlock()
 	return Stats{
 		Inserts:    t.inserts.Load(),
 		NewGroups:  t.newGroups.Load(),
 		Evictions:  t.evictions.Load(),
-		MemBytes:   mem,
-		GroupCount: n,
+		MemBytes:   t.mem.Load(),
+		GroupCount: int(t.nGroups.Load()),
 	}
 }
 
@@ -312,22 +349,32 @@ func (t *Table) insert(get AttrGetter) error {
 		groupVals[i] = v
 	}
 	key := string(sqltypes.EncodeKey(groupVals...))
+	sh := t.shardFor(key)
 
-	// Fast path: existing group under the read latch.
-	t.mu.RLock()
-	r := t.groups[key]
-	t.mu.RUnlock()
+	// Fast path: existing group under the shard read latch.
+	sh.mu.RLock()
+	r := sh.groups[key]
+	sh.mu.RUnlock()
 
 	if r == nil {
-		t.mu.Lock()
-		r = t.groups[key]
+		// Group creation. Bounded tables also register the row in the
+		// eviction heap, so the ordering latch is taken first (latch order
+		// orderMu → shard.mu) making creation atomic with respect to
+		// eviction and Reset.
+		if t.bounded {
+			t.orderMu.Lock()
+		}
+		sh.mu.Lock()
+		r = sh.groups[key]
 		if r == nil {
-			if n := len(t.free); n > 0 {
+			if n := len(sh.free); n > 0 {
 				// Reuse an evicted row's memory. Reinitialization happens
 				// under the row latch: a stale updater that still holds a
 				// pointer to this row revalidates its key after latching.
-				r = t.free[n-1]
-				t.free = t.free[:n-1]
+				// (heapIdx is already -1: rows enter the free list only via
+				// an eviction pop.)
+				r = sh.free[n-1]
+				sh.free = sh.free[:n-1]
 				r.mu.Lock()
 				r.key = key
 				r.groupVal = groupVals
@@ -336,7 +383,6 @@ func (t *Table) insert(get AttrGetter) error {
 					r.aggs[i].init(&t.spec, &t.spec.Aggs[i])
 				}
 				r.live = true
-				r.heapIdx = -1
 				r.mem = r.memSize()
 				r.orderKey.Store(t.orderKeyLocked(r, now))
 				r.mu.Unlock()
@@ -349,12 +395,18 @@ func (t *Table) insert(get AttrGetter) error {
 				r.mem = r.memSize()
 				r.orderKey.Store(t.orderKeyLocked(r, now))
 			}
-			t.groups[key] = r
-			heap.Push(&rowHeapRef{t: t}, r)
-			t.mem += r.mem
+			sh.groups[key] = r
+			if t.bounded {
+				heap.Push(&rowHeapRef{t: t}, r)
+			}
+			t.mem.Add(r.mem)
+			t.nGroups.Add(1)
 			t.newGroups.Add(1)
 		}
-		t.mu.Unlock()
+		sh.mu.Unlock()
+		if t.bounded {
+			t.orderMu.Unlock()
+		}
 	}
 
 	// Update the row under its own latch. The key revalidation catches the
@@ -383,19 +435,33 @@ func (t *Table) insert(get AttrGetter) error {
 	r.orderKey.Store(t.orderKeyLocked(r, now))
 	r.mu.Unlock()
 
-	// Reposition in the ordering heap and enforce limits under the table
-	// latch. If the row was evicted between the latches, its (updated)
-	// memory was already subtracted by the evictor; skip accounting.
-	t.mu.Lock()
+	// Account the update's memory and — for bounded tables — reposition
+	// the row in the ordering heap and enforce limits. Membership is
+	// re-checked under the shard latch: if the row was evicted (or Reset)
+	// between the latches, its updated memory was already subtracted by
+	// the evictor, so accounting is skipped. (The local key is used, never
+	// r.key, which may be concurrently reinitialized by row reuse.)
+	if !t.bounded {
+		sh.mu.RLock()
+		if sh.groups[key] == r {
+			t.mem.Add(memDelta)
+		}
+		sh.mu.RUnlock()
+		return nil
+	}
+	t.orderMu.Lock()
+	sh.mu.RLock()
+	present := sh.groups[key] == r
+	sh.mu.RUnlock()
 	var evicted []EvictedRow
-	if t.groups[r.key] == r {
-		t.mem += memDelta
+	if present {
+		t.mem.Add(memDelta)
 		if r.heapIdx >= 0 && len(t.spec.OrderBy) > 0 {
 			heap.Fix(&rowHeapRef{t: t}, r.heapIdx)
 		}
 		evicted = t.enforceLimitsLocked(now)
 	}
-	t.mu.Unlock()
+	t.orderMu.Unlock()
 	t.deliverEvictions(evicted)
 	return nil
 }
@@ -427,10 +493,12 @@ outer:
 }
 
 // enforceLimitsLocked evicts least-important rows while over limits,
-// returning the evicted snapshots. Caller holds the table write latch;
-// eviction callbacks must be delivered after releasing it.
+// returning the evicted snapshots. Caller holds the ordering latch;
+// eviction callbacks must be delivered after releasing it. Victim shard
+// and row latches nest inside the ordering latch (orderMu → shard.mu →
+// row.mu).
 func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
-	if t.spec.MaxRows == 0 && t.spec.MaxBytes == 0 {
+	if !t.bounded {
 		return nil
 	}
 	// Snapshots of evicted rows are only materialized when a callback is
@@ -439,28 +507,34 @@ func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
 	var out []EvictedRow
 	for {
 		over := false
-		if t.spec.MaxRows > 0 && len(t.groups) > t.spec.MaxRows {
+		if t.spec.MaxRows > 0 && len(t.order) > t.spec.MaxRows {
 			over = true
 		}
-		if t.spec.MaxBytes > 0 && t.mem > t.spec.MaxBytes {
+		if t.spec.MaxBytes > 0 && t.mem.Load() > t.spec.MaxBytes {
 			over = true
 		}
 		if !over || len(t.order) == 0 {
 			return out
 		}
 		victim := heap.Pop(&rowHeapRef{t: t}).(*row)
-		delete(t.groups, victim.key)
+		// victim.key is stable here: reuse-reinitialization can only happen
+		// after the row is returned to a free list below.
+		vsh := t.shardFor(victim.key)
+		vsh.mu.Lock()
+		delete(vsh.groups, victim.key)
 		victim.mu.Lock()
 		victim.live = false
-		t.mem -= victim.mem
+		t.mem.Add(-victim.mem)
 		var vals []sqltypes.Value
 		if fn != nil {
 			vals = t.rowValuesRowLocked(victim, now)
 		}
 		victim.mu.Unlock()
-		if len(t.free) < 64 {
-			t.free = append(t.free, victim)
+		if len(vsh.free) < maxFreePerShard {
+			vsh.free = append(vsh.free, victim)
 		}
+		vsh.mu.Unlock()
+		t.nGroups.Add(-1)
 		t.evictions.Add(1)
 		if fn != nil {
 			out = append(out, EvictedRow{
@@ -509,13 +583,20 @@ func (t *Table) rowValuesRowLocked(r *row, now time.Time) []sqltypes.Value {
 // false condition, §5.2).
 func (t *Table) Lookup(groupVals []sqltypes.Value) ([]sqltypes.Value, bool) {
 	key := string(sqltypes.EncodeKey(groupVals...))
-	t.mu.RLock()
-	r := t.groups[key]
-	t.mu.RUnlock()
+	sh := t.shardFor(key)
+	now := t.clock()
+	sh.mu.RLock()
+	r := sh.groups[key]
 	if r == nil {
+		sh.mu.RUnlock()
 		return nil, false
 	}
-	return t.rowValues(r, t.clock()), true
+	// Materialize under the shard latch (shard.mu → row.mu) so a
+	// concurrent eviction + row reuse cannot hand back another group's
+	// values.
+	vals := t.rowValues(r, now)
+	sh.mu.RUnlock()
+	return vals, true
 }
 
 // LookupByGetter resolves the grouping attributes through an object
@@ -543,17 +624,20 @@ func (t *Table) ColumnIndex(col string) int {
 }
 
 // Rows returns a snapshot of all rows in declared order (most important
-// first). Each row is the output values in column order.
+// first). Each row is the output values in column order. The snapshot is
+// taken shard by shard: rows are materialized under their shard latch so
+// a concurrent eviction + reuse cannot duplicate or corrupt a row, but
+// the snapshot as a whole is not a single point in time.
 func (t *Table) Rows() [][]sqltypes.Value {
 	now := t.clock()
-	t.mu.RLock()
-	rows := make([]*row, len(t.order))
-	copy(rows, t.order)
-	t.mu.RUnlock()
-
-	out := make([][]sqltypes.Value, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, t.rowValues(r, now))
+	out := make([][]sqltypes.Value, 0, t.nGroups.Load())
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, r := range sh.groups {
+			out = append(out, t.rowValues(r, now))
+		}
+		sh.mu.RUnlock()
 	}
 	// Heap order is not sorted order: sort by the spec (most important
 	// first = reverse of eviction priority).
@@ -586,18 +670,27 @@ func (t *Table) sortRows(rows [][]sqltypes.Value) {
 	})
 }
 
-// Reset clears the table (paper action Reset(LATName)).
+// Reset clears the table (paper action Reset(LATName)). It takes the
+// ordering latch and every shard latch (in latch order), so it is atomic
+// with respect to concurrent inserts.
 func (t *Table) Reset() {
-	t.mu.Lock()
-	for _, r := range t.groups {
-		r.mu.Lock()
-		r.live = false
-		r.mu.Unlock()
+	t.orderMu.Lock()
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, r := range sh.groups {
+			r.mu.Lock()
+			r.live = false
+			r.mu.Unlock()
+		}
+		sh.groups = make(map[string]*row)
+		sh.free = nil
+		sh.mu.Unlock()
 	}
-	t.groups = make(map[string]*row)
 	t.order = nil
-	t.mem = 0
-	t.mu.Unlock()
+	t.mem.Store(0)
+	t.nGroups.Store(0)
+	t.orderMu.Unlock()
 }
 
 // Load replays persisted rows into the table as single observations (used

@@ -6,8 +6,12 @@
 package monitor
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sqlcm/internal/engine"
@@ -50,17 +54,48 @@ var (
 	EvLATRowEvicted      = Event{ClassLATRow, "Evicted"}
 )
 
+// allEvents lists the schema's events in declaration order; its positions
+// are the dense indices returned by EventIndex.
+var allEvents = []Event{
+	EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel,
+	EvQueryRollback, EvQueryBlocked, EvQueryBlockReleased,
+	EvTxnCommit, EvTxnRollback, EvTimerAlarm, EvLATRowEvicted,
+}
+
+// eventByName and eventIndex are built once at package init so event
+// parsing and counter indexing on the hot path are single map hits.
+var (
+	eventByName map[string]Event
+	eventIndex  map[Event]int
+)
+
+func init() {
+	eventByName = make(map[string]Event, len(allEvents))
+	eventIndex = make(map[Event]int, len(allEvents))
+	for i, ev := range allEvents {
+		eventByName[ev.String()] = ev
+		eventIndex[ev] = i
+	}
+}
+
+// AllEvents returns the schema's events in declaration order.
+func AllEvents() []Event { return append([]Event(nil), allEvents...) }
+
+// NumEvents returns the number of events in the schema.
+func NumEvents() int { return len(allEvents) }
+
+// EventIndex returns a dense, stable index for a schema event (used for
+// per-event atomic counters) and whether the event is part of the schema.
+func EventIndex(ev Event) (int, bool) {
+	i, ok := eventIndex[ev]
+	return i, ok
+}
+
 // ParseEvent parses "Class.Name" into an Event, validating it against the
 // schema.
 func ParseEvent(s string) (Event, error) {
-	for _, ev := range []Event{
-		EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel,
-		EvQueryRollback, EvQueryBlocked, EvQueryBlockReleased,
-		EvTxnCommit, EvTxnRollback, EvTimerAlarm, EvLATRowEvicted,
-	} {
-		if ev.String() == s {
-			return ev, nil
-		}
+	if ev, ok := eventByName[s]; ok {
+		return ev, nil
 	}
 	return Event{}, fmt.Errorf("monitor: unknown event %q", s)
 }
@@ -91,17 +126,62 @@ type Sigs struct {
 	PhysicalText string
 }
 
+// sigShards is the number of lock shards in the signature cache. A power
+// of two so shard selection is a mask of the plan-pointer hash; 16 keeps
+// contention negligible for any realistic number of concurrent compiles
+// while costing ~1KB per cache.
+const sigShards = 16
+
 // SigCache memoizes per-plan signatures: the paper computes the signature
-// once during optimization and caches it with the query plan.
+// once during optimization and caches it with the query plan. The map is
+// sharded by a hash of the plan pointer so concurrent lookups of distinct
+// plans do not contend on one lock.
 type SigCache struct {
+	shards   [sigShards]sigShard
+	computes atomic.Int64 // number of actual computations (cache misses)
+}
+
+type sigShard struct {
 	mu sync.Mutex
 	m  map[interface{}]*Sigs
-
-	computes int64 // number of actual computations (cache misses)
+	_  [40]byte // pad shards onto distinct cache lines
 }
 
 // NewSigCache returns an empty signature cache.
-func NewSigCache() *SigCache { return &SigCache{m: make(map[interface{}]*Sigs)} }
+func NewSigCache() *SigCache {
+	c := &SigCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[interface{}]*Sigs)
+	}
+	return c
+}
+
+// shardFor picks the lock shard for a plan key.
+func (c *SigCache) shardFor(key interface{}) *sigShard {
+	return &c.shards[ptrHash(key)&(sigShards-1)]
+}
+
+// ptrHash hashes the identity of a cached plan. Plans are pointer-typed
+// interface values, so the data pointer is FNV-hashed; non-pointer keys
+// (never produced by the planner) degrade to shard 0 without panicking.
+func ptrHash(key interface{}) uint64 {
+	v := reflect.ValueOf(key)
+	switch v.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Map, reflect.Chan, reflect.Func:
+		return fnvUint64(uint64(v.Pointer()))
+	default:
+		return 0
+	}
+}
+
+// fnvUint64 runs FNV-1a over the 8 little-endian bytes of x.
+func fnvUint64(x uint64) uint64 {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	h := fnv.New64a()
+	h.Write(b[:]) //nolint:errcheck
+	return h.Sum64()
+}
 
 // For returns the signatures for a compiled statement, computing them on
 // first sight of its (cached) plan.
@@ -109,13 +189,14 @@ func (c *SigCache) For(q *engine.QueryInfo) *Sigs {
 	if q.Logical == nil {
 		return &Sigs{}
 	}
-	c.mu.Lock()
-	if s, ok := c.m[q.Logical]; ok {
-		c.mu.Unlock()
+	sh := c.shardFor(q.Logical)
+	sh.mu.Lock()
+	if s, ok := sh.m[q.Logical]; ok {
+		sh.mu.Unlock()
 		return s
 	}
-	c.mu.Unlock()
-	// Compute outside the lock; duplicate computation on a race is benign.
+	sh.mu.Unlock()
+	// Compute outside the lock; a racing duplicate computation is benign.
 	lid, ltext := signature.Logical(q.Logical)
 	pid, ptext := signature.Physical(q.Physical)
 	s := &Sigs{
@@ -123,20 +204,23 @@ func (c *SigCache) For(q *engine.QueryInfo) *Sigs {
 		LogicalHex: lid.String(), PhysicalHex: pid.String(),
 		LogicalText: ltext, PhysicalText: ptext,
 	}
-	c.mu.Lock()
-	c.m[q.Logical] = s
-	c.computes++
-	c.mu.Unlock()
+	sh.mu.Lock()
+	if winner, ok := sh.m[q.Logical]; ok {
+		// Lost the insertion race: adopt the winner's entry and do not count
+		// a miss, keeping the signature-overhead experiment's counter exact
+		// (one compute per distinct plan).
+		sh.mu.Unlock()
+		return winner
+	}
+	sh.m[q.Logical] = s
+	sh.mu.Unlock()
+	c.computes.Add(1)
 	return s
 }
 
 // Computes returns the number of signature computations performed (cache
 // misses), a probe for the signature-overhead experiment.
-func (c *SigCache) Computes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.computes
-}
+func (c *SigCache) Computes() int64 { return c.computes.Load() }
 
 // QueryObject exposes one statement as a monitored object with the
 // Appendix A attributes. Duration is fixed at event time for completion
@@ -284,11 +368,22 @@ func (t *TxnObject) Get(attr string) (sqltypes.Value, bool) {
 	}
 }
 
+// txnShards is the number of lock shards in the transaction tracker
+// (power of two, masked over an FNV hash of the transaction id).
+const txnShards = 16
+
 // TxnTracker accumulates per-transaction statement signatures so the
-// Transaction object can expose transaction signatures at commit.
+// Transaction object can expose transaction signatures at commit. State is
+// sharded by transaction id: concurrent sessions observing statements in
+// different transactions never share a lock.
 type TxnTracker struct {
+	shards [txnShards]txnShard
+}
+
+type txnShard struct {
 	mu sync.Mutex
 	m  map[int64]*txnAccum // by txn id
+	_  [40]byte            // pad shards onto distinct cache lines
 }
 
 type txnAccum struct {
@@ -299,29 +394,42 @@ type txnAccum struct {
 }
 
 // NewTxnTracker returns an empty tracker.
-func NewTxnTracker() *TxnTracker { return &TxnTracker{m: make(map[int64]*txnAccum)} }
+func NewTxnTracker() *TxnTracker {
+	t := &TxnTracker{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[int64]*txnAccum)
+	}
+	return t
+}
+
+// shardFor picks the lock shard for a transaction id.
+func (t *TxnTracker) shardFor(txnID int64) *txnShard {
+	return &t.shards[fnvUint64(uint64(txnID))&(txnShards-1)]
+}
 
 // Observe records one statement's signatures under its transaction.
 func (t *TxnTracker) Observe(txnID int64, s *Sigs, blocked time.Duration) {
-	t.mu.Lock()
-	a := t.m[txnID]
+	sh := t.shardFor(txnID)
+	sh.mu.Lock()
+	a := sh.m[txnID]
 	if a == nil {
 		a = &txnAccum{}
-		t.m[txnID] = a
+		sh.m[txnID] = a
 	}
 	a.logical = append(a.logical, s.Logical)
 	a.physical = append(a.physical, s.Physical)
 	a.nQueries++
 	a.timeBlocked += blocked
-	t.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 // Finish closes a transaction, returning its object fields.
 func (t *TxnTracker) Finish(info *engine.TxnInfo, dur time.Duration) *TxnObject {
-	t.mu.Lock()
-	a := t.m[int64(info.ID)]
-	delete(t.m, int64(info.ID))
-	t.mu.Unlock()
+	sh := t.shardFor(int64(info.ID))
+	sh.mu.Lock()
+	a := sh.m[int64(info.ID)]
+	delete(sh.m, int64(info.ID))
+	sh.mu.Unlock()
 	obj := &TxnObject{Info: info, Duration: dur}
 	if a != nil {
 		obj.LogicalSig = signature.Transaction(a.logical)

@@ -12,25 +12,82 @@ import (
 )
 
 func TestParseEvent(t *testing.T) {
-	good := []string{
-		"Query.Start", "Query.Compile", "Query.Commit", "Query.Cancel",
-		"Query.Rollback", "Query.Blocked", "Query.Block_Released",
-		"Transaction.Commit", "Transaction.Rollback", "Timer.Alarm",
-		"LATRow.Evicted",
+	// Every event in the schema must round-trip through its String form.
+	all := AllEvents()
+	if len(all) == 0 || len(all) != NumEvents() {
+		t.Fatalf("AllEvents returned %d events, NumEvents = %d", len(all), NumEvents())
 	}
-	for _, s := range good {
-		ev, err := ParseEvent(s)
+	for _, want := range all {
+		t.Run(want.String(), func(t *testing.T) {
+			ev, err := ParseEvent(want.String())
+			if err != nil {
+				t.Fatalf("ParseEvent(%q): %v", want.String(), err)
+			}
+			if ev != want {
+				t.Errorf("round trip: %q -> %v", want.String(), ev)
+			}
+			idx, ok := EventIndex(ev)
+			if !ok || idx < 0 || idx >= NumEvents() {
+				t.Errorf("EventIndex(%v) = %d, %v", ev, idx, ok)
+			}
+		})
+	}
+	// Known spellings stay stable even if the schema order changes.
+	known := []struct {
+		in   string
+		want Event
+	}{
+		{"Query.Start", EvQueryStart},
+		{"Query.Compile", EvQueryCompile},
+		{"Query.Commit", EvQueryCommit},
+		{"Query.Cancel", EvQueryCancel},
+		{"Query.Rollback", EvQueryRollback},
+		{"Query.Blocked", EvQueryBlocked},
+		{"Query.Block_Released", EvQueryBlockReleased},
+		{"Transaction.Commit", EvTxnCommit},
+		{"Transaction.Rollback", EvTxnRollback},
+		{"Timer.Alarm", EvTimerAlarm},
+		{"LATRow.Evicted", EvLATRowEvicted},
+	}
+	for _, tc := range known {
+		ev, err := ParseEvent(tc.in)
 		if err != nil {
-			t.Errorf("ParseEvent(%q): %v", s, err)
+			t.Errorf("ParseEvent(%q): %v", tc.in, err)
+			continue
 		}
-		if ev.String() != s {
-			t.Errorf("round trip: %q -> %q", s, ev.String())
+		if ev != tc.want {
+			t.Errorf("ParseEvent(%q) = %v, want %v", tc.in, ev, tc.want)
 		}
 	}
-	for _, s := range []string{"", "Query", "Query.Nope", "Table.Commit"} {
-		if _, err := ParseEvent(s); err == nil {
-			t.Errorf("ParseEvent(%q) should fail", s)
+	// Unknown and malformed inputs are rejected.
+	bad := []string{
+		"", ".", "Query", "Query.", ".Start", "Query.Nope", "Table.Commit",
+		"query.commit", "QUERY.COMMIT", "Query .Commit", "Query.Commit ",
+		"Query.Commit.Extra", "Foo.Bar", "Transaction", "Timer.alarm",
+	}
+	for _, s := range bad {
+		if ev, err := ParseEvent(s); err == nil {
+			t.Errorf("ParseEvent(%q) = %v, want error", s, ev)
 		}
+	}
+}
+
+// TestEventIndexRejectsUnknown pins the dense-index contract the event
+// bus relies on for its counter array.
+func TestEventIndexRejectsUnknown(t *testing.T) {
+	if idx, ok := EventIndex(Event{Class: "Nope", Name: "Nope"}); ok {
+		t.Errorf("EventIndex(unknown) = %d, true", idx)
+	}
+	seen := make(map[int]bool)
+	for _, ev := range AllEvents() {
+		idx, ok := EventIndex(ev)
+		if !ok {
+			t.Fatalf("EventIndex(%v) missing", ev)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
 	}
 }
 

@@ -1,0 +1,156 @@
+package rules
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlcm/internal/monitor"
+)
+
+// countAction counts rule firings.
+type countAction struct{ n atomic.Int64 }
+
+func (a *countAction) Run(env Env, ctx *Ctx) error { a.n.Add(1); return nil }
+
+func (a *countAction) Describe() string { return "count" }
+
+// TestDispatchTakesNoEngineLock pins the lock-free read path: the hot-path
+// entry points must complete while a writer holds the engine's (only)
+// mutex, which is impossible if rule lookup acquired it.
+func TestDispatchTakesNoEngineLock(t *testing.T) {
+	e := NewEngine(newFakeEnv())
+	act := &countAction{}
+	r := &Rule{Name: "r1", Event: monitor.EvQueryCommit, Actions: []Action{act}}
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+
+	e.writeMu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if !e.HasAnyRules() {
+			t.Error("HasAnyRules = false")
+		}
+		if !e.HasRulesFor(monitor.EvQueryCommit) {
+			t.Error("HasRulesFor = false")
+		}
+		if got := e.Rules(); len(got) != 1 {
+			t.Errorf("Rules = %v", got)
+		}
+		if _, ok := e.Rule("r1"); !ok {
+			t.Error("Rule lookup failed")
+		}
+		e.Dispatch(monitor.EvQueryCommit, map[string]monitor.Object{
+			monitor.ClassQuery: queryObj(1, "s", 1),
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read path blocked on the engine mutex")
+	}
+	e.writeMu.Unlock()
+	if act.n.Load() != 1 {
+		t.Fatalf("rule fired %d times, want 1", act.n.Load())
+	}
+}
+
+// TestConcurrentAddRemoveDuringDispatch churns the rule set from writer
+// goroutines while dispatchers fire events through the copy-on-write
+// index (meaningful under -race). A permanent rule must fire on every
+// dispatch regardless of concurrent registration activity.
+func TestConcurrentAddRemoveDuringDispatch(t *testing.T) {
+	e := NewEngine(newFakeEnv())
+	permanent := &countAction{}
+	if err := e.AddRule(&Rule{Name: "permanent", Event: monitor.EvQueryCommit,
+		Actions: []Action{permanent}}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const dispatchers = 4
+	const perG = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := fmt.Sprintf("w%d-r%d", w, i)
+				r := &Rule{Name: name, Event: monitor.EvQueryCommit, Actions: []Action{&countAction{}}}
+				if err := e.AddRule(r); err != nil {
+					t.Error(err)
+					return
+				}
+				if !e.RemoveRule(name) {
+					t.Errorf("RemoveRule(%q) = false", name)
+					return
+				}
+			}
+		}(w)
+	}
+	var dispatched atomic.Int64
+	for d := 0; d < dispatchers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e.Dispatch(monitor.EvQueryCommit, map[string]monitor.Object{
+					monitor.ClassQuery: queryObj(int64(i), "sig", 1),
+				})
+				dispatched.Add(1)
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	if got := permanent.n.Load(); got != dispatched.Load() {
+		t.Errorf("permanent rule fired %d times, want %d", got, dispatched.Load())
+	}
+	if got := e.Rules(); len(got) != 1 || got[0] != "permanent" {
+		t.Errorf("surviving rules = %v", got)
+	}
+	if !e.HasRulesFor(monitor.EvQueryCommit) {
+		t.Error("HasRulesFor lost the permanent rule")
+	}
+	st := e.Stats()
+	if st.Rules != 1 {
+		t.Errorf("Stats.Rules = %d", st.Rules)
+	}
+	// Every dispatch evaluated at least the permanent rule.
+	if st.Fired < dispatched.Load() {
+		t.Errorf("Fired = %d < dispatches %d", st.Fired, dispatched.Load())
+	}
+}
+
+// TestRemoveRulePreservesOrder checks that the rebuilt index keeps the
+// registration order of the surviving rules (§5: fixed rule order).
+func TestRemoveRulePreservesOrder(t *testing.T) {
+	e := NewEngine(newFakeEnv())
+	var order []string
+	for i := 0; i < 5; i++ {
+		name := fmt.Sprintf("r%d", i)
+		if err := e.AddRule(&Rule{Name: name, Event: monitor.EvQueryCommit}); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, name)
+	}
+	if !e.RemoveRule("r2") {
+		t.Fatal("remove failed")
+	}
+	want := []string{"r0", "r1", "r3", "r4"}
+	got := e.Rules()
+	if len(got) != len(want) {
+		t.Fatalf("Rules = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rules = %v, want %v", got, want)
+		}
+	}
+	_ = order
+}

@@ -115,16 +115,39 @@ var knownClasses = map[string]bool{
 	monitor.ClassLATRow:      true,
 }
 
+// ruleIndex is an immutable snapshot of the registered rule set. Readers
+// load it through an atomic pointer and never take a lock; writers rebuild
+// a fresh index and publish it (copy-on-write). The per-event dispatch
+// lists preserve registration order (§5: fixed rule order).
+type ruleIndex struct {
+	rules   []*Rule
+	byEvent map[monitor.Event][]*Rule
+}
+
+// buildIndex constructs the immutable index for a rule slice.
+func buildIndex(rules []*Rule) *ruleIndex {
+	idx := &ruleIndex{rules: rules, byEvent: make(map[monitor.Event][]*Rule)}
+	for _, r := range rules {
+		idx.byEvent[r.Event] = append(idx.byEvent[r.Event], r)
+	}
+	return idx
+}
+
 // Engine evaluates rules. Rules fire in registration order; within one
 // event all applicable rules run before control returns to the engine
 // (§5: fixed order, synchronous, no recursive triggering — events raised
 // by actions are not dispatched re-entrantly).
+//
+// Rule lookup is lock-free: the hot path (Dispatch, HasRulesFor,
+// HasAnyRules) reads an atomically published copy-on-write index, so
+// firing a rule in the query thread never acquires a mutex and never
+// contends with rule registration.
 type Engine struct {
 	env Env
 
-	mu      sync.RWMutex
-	rules   []*Rule
-	byEvent map[monitor.Event]int // rule count per event (fast path)
+	// writeMu serializes AddRule/RemoveRule; idx is the published index.
+	writeMu sync.Mutex
+	idx     atomic.Pointer[ruleIndex]
 
 	evaluations atomic.Int64
 	fired       atomic.Int64
@@ -133,16 +156,15 @@ type Engine struct {
 
 // NewEngine creates a rule engine over env.
 func NewEngine(env Env) *Engine {
-	return &Engine{env: env, byEvent: make(map[monitor.Event]int)}
+	e := &Engine{env: env}
+	e.idx.Store(buildIndex(nil))
+	return e
 }
 
 // HasAnyRules reports whether any rule is registered at all; with no rules
 // the monitoring glue skips even probe assembly and signature computation.
 func (e *Engine) HasAnyRules() bool {
-	e.mu.RLock()
-	n := len(e.rules)
-	e.mu.RUnlock()
-	return n > 0
+	return len(e.idx.Load().rules) > 0
 }
 
 // HasRulesFor reports whether any rule listens on ev. The monitoring glue
@@ -150,10 +172,7 @@ func (e *Engine) HasAnyRules() bool {
 // event — "no monitoring is performed unless it is required by a rule"
 // (§2.1).
 func (e *Engine) HasRulesFor(ev monitor.Event) bool {
-	e.mu.RLock()
-	n := e.byEvent[ev]
-	e.mu.RUnlock()
-	return n > 0
+	return len(e.idx.Load().byEvent[ev]) > 0
 }
 
 // Stats reports rule-engine counters.
@@ -166,9 +185,7 @@ type Stats struct {
 
 // Stats returns a snapshot of counters.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	n := len(e.rules)
-	e.mu.RUnlock()
+	n := len(e.idx.Load().rules)
 	return Stats{
 		Evaluations: e.evaluations.Load(),
 		Fired:       e.fired.Load(),
@@ -189,26 +206,32 @@ func (e *Engine) AddRule(r *Rule) error {
 		return err
 	}
 	r.enabled.Store(true)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for _, existing := range e.rules {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.idx.Load()
+	for _, existing := range cur.rules {
 		if existing.Name == r.Name {
 			return fmt.Errorf("rules: duplicate rule %q", r.Name)
 		}
 	}
-	e.rules = append(e.rules, r)
-	e.byEvent[r.Event]++
+	next := make([]*Rule, 0, len(cur.rules)+1)
+	next = append(next, cur.rules...)
+	next = append(next, r)
+	e.idx.Store(buildIndex(next))
 	return nil
 }
 
 // RemoveRule unregisters a rule by name.
 func (e *Engine) RemoveRule(name string) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for i, r := range e.rules {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	cur := e.idx.Load()
+	for i, r := range cur.rules {
 		if r.Name == name {
-			e.rules = append(e.rules[:i:i], e.rules[i+1:]...)
-			e.byEvent[r.Event]--
+			next := make([]*Rule, 0, len(cur.rules)-1)
+			next = append(next, cur.rules[:i]...)
+			next = append(next, cur.rules[i+1:]...)
+			e.idx.Store(buildIndex(next))
 			return true
 		}
 	}
@@ -217,9 +240,7 @@ func (e *Engine) RemoveRule(name string) bool {
 
 // Rule returns a registered rule by name.
 func (e *Engine) Rule(name string) (*Rule, bool) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	for _, r := range e.rules {
+	for _, r := range e.idx.Load().rules {
 		if r.Name == name {
 			return r, true
 		}
@@ -229,10 +250,9 @@ func (e *Engine) Rule(name string) (*Rule, bool) {
 
 // Rules returns the registered rule names in evaluation order.
 func (e *Engine) Rules() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]string, len(e.rules))
-	for i, r := range e.rules {
+	rules := e.idx.Load().rules
+	out := make([]string, len(rules))
+	for i, r := range rules {
 		out[i] = r.Name
 	}
 	return out
@@ -277,9 +297,12 @@ func (r *Rule) analyze() error {
 // (§5: fixed rule order; all applicable rules run before the engine
 // resumes).
 func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
-	e.mu.RLock()
-	rules := e.rules
-	e.mu.RUnlock()
+	// Lock-free: one atomic load of the copy-on-write index, then only the
+	// rules listening on this event are visited.
+	matching := e.idx.Load().byEvent[ev]
+	if len(matching) == 0 {
+		return
+	}
 
 	base := Ctx{Objects: objs, Primary: objs[ev.Class]}
 	if base.Primary == nil {
@@ -288,8 +311,8 @@ func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 			break
 		}
 	}
-	for _, r := range rules {
-		if r.Event != ev || !r.Enabled() {
+	for _, r := range matching {
+		if !r.Enabled() {
 			continue
 		}
 		if len(r.freeClasses) == 0 {

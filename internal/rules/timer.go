@@ -8,12 +8,19 @@ import (
 	"sqlcm/internal/monitor"
 )
 
+// Dispatcher receives Timer.Alarm events. The rule engine satisfies it
+// directly; production wiring routes alarms through the event layer's bus
+// so they are counted like every other monitored event.
+type Dispatcher interface {
+	Dispatch(ev monitor.Event, objs map[string]monitor.Object)
+}
+
 // TimerManager implements the Timer monitored class (§5.1): named timers
 // whose alarms dispatch Timer.Alarm events through the rule engine on a
 // background goroutine, used for rules that cannot be tied to a system
 // event (periodic reporting, watchdogs).
 type TimerManager struct {
-	engine *Engine
+	dispatcher Dispatcher
 
 	mu     sync.Mutex
 	timers map[string]*timerState
@@ -26,9 +33,9 @@ type timerState struct {
 	seq    int64
 }
 
-// NewTimerManager creates a manager dispatching into engine.
-func NewTimerManager(engine *Engine) *TimerManager {
-	return &TimerManager{engine: engine, timers: make(map[string]*timerState)}
+// NewTimerManager creates a manager dispatching into d.
+func NewTimerManager(d Dispatcher) *TimerManager {
+	return &TimerManager{dispatcher: d, timers: make(map[string]*timerState)}
 }
 
 // Set arms (or re-arms, or with count 0 disables) the named timer: count
@@ -92,7 +99,7 @@ func (m *TimerManager) run(st *timerState, period time.Duration, count int) {
 		case now := <-ticker.C:
 			st.seq++
 			obj := &monitor.TimerObject{Name: st.name, Now: now, Seq: st.seq}
-			m.engine.Dispatch(monitor.EvTimerAlarm, map[string]monitor.Object{
+			m.dispatcher.Dispatch(monitor.EvTimerAlarm, map[string]monitor.Object{
 				monitor.ClassTimer: obj,
 			})
 			fired++
