@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race chaos fuzz bench ci
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ test:
 # index, sharded caches, event bus) are only meaningful under -race.
 race:
 	$(GO) test -race ./...
+
+# Chaos tier: fault-injection tests for the fail-safe layer (panic
+# quarantine, outbox retry/backoff/shedding, crash-safe checkpointing),
+# run under -race because the faults race against live dispatch.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
+	$(GO) test -race -count=1 ./internal/faults/ ./internal/outbox/
+
+# Fuzz smoke: harden the {ref} substitution scanner.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1000x ./...

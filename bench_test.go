@@ -143,7 +143,7 @@ func benchFig2(b *testing.B, nRules, nConds int) {
 	eng := benchEngine(b, 5000)
 	if nRules > 0 {
 		s := core.Attach(eng, core.Options{})
-		b.Cleanup(s.Detach)
+		b.Cleanup(func() { s.Detach() })
 		for i := 0; i < nRules; i++ {
 			spec := lat.Spec{
 				Name:    fmt.Sprintf("b_lat_%04d", i),
@@ -217,7 +217,7 @@ func BenchmarkMonitoringNone(b *testing.B) {
 func BenchmarkMonitoringSQLCMTopK(b *testing.B) {
 	eng := benchEngine(b, 5000)
 	s := core.Attach(eng, core.Options{})
-	b.Cleanup(s.Detach)
+	b.Cleanup(func() { s.Detach() })
 	if _, err := s.DefineLAT(lat.Spec{
 		Name:    "TopQ",
 		GroupBy: []string{"Query_Text"},

@@ -65,7 +65,8 @@ func main() {
 			mustExec(batch, "SELECT owner, COUNT(*), SUM(bytes) FROM docs GROUP BY owner")
 		}
 	}
-	time.Sleep(200 * time.Millisecond) // let the final flush fire
+	time.Sleep(200 * time.Millisecond) // let the final timer window fire
+	db.Flush(2 * time.Second)          // actions run async; quiesce before reading
 
 	rows, err := db.ReadTable("usage_report")
 	if err != nil {

@@ -54,6 +54,7 @@ func main() {
 	} else {
 		fmt.Println("query survived (governor too slow?)")
 	}
+	db.Flush(2 * time.Second) // actions run async; quiesce before reading
 	mailer := db.Monitor().Mailer().(*sqlcm.MemMailer)
 	for _, m := range mailer.Sent() {
 		fmt.Printf("mail to %s: %s\n", m.Addr, m.Body)

@@ -68,6 +68,7 @@ func main() {
 	// A problematic parameter combination: a full-table report.
 	mustExec(sess, "EXEC order_report 1, 5000")
 
+	db.Flush(2 * time.Second) // actions run async; quiesce before reading
 	rows, err := db.ReadTable("outliers")
 	if err != nil {
 		log.Fatal("no outliers table:", err)

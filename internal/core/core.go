@@ -18,6 +18,7 @@ import (
 	"sqlcm/internal/event"
 	"sqlcm/internal/lat"
 	"sqlcm/internal/monitor"
+	"sqlcm/internal/outbox"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/sqltypes"
 )
@@ -83,25 +84,62 @@ func (r *MemRunner) Commands() []string {
 	return append([]string(nil), r.cmds...)
 }
 
+// Persister writes one monitoring row (with a timestamp column appended)
+// to durable storage. The default implementation writes to an engine disk
+// table, creating it on first use; fault-injection harnesses wrap it.
+type Persister interface {
+	Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error
+}
+
+// FailsafeOptions tunes the fail-safe layer: panic quarantine, the async
+// action outbox, overload shedding, and LAT checkpointing.
+type FailsafeOptions struct {
+	// QuarantineThreshold is the number of consecutive panicking
+	// evaluations after which a rule is quarantined (0 = default of
+	// rules.DefaultQuarantineThreshold, negative = never quarantine).
+	QuarantineThreshold int
+	// Outbox tunes the async action executor (queue sizes, retry policy,
+	// drain timeout). Zero values select the outbox defaults.
+	Outbox outbox.Config
+	// DispatchBudget arms event shedding: when the average rule-dispatch
+	// latency exceeds the budget, the bus samples events (1 in
+	// ShedSampleN) instead of evaluating all of them. Zero disables.
+	DispatchBudget time.Duration
+	// ShedSampleN is the degraded-mode sampling rate (default 16).
+	ShedSampleN int
+	// CheckpointInterval is the period of automatic LAT checkpoints for
+	// tables registered with MarkForCheckpoint. Zero disables the
+	// background checkpointer (CheckpointNow still works).
+	CheckpointInterval time.Duration
+}
+
 // Options configures an SQLCM instance.
 type Options struct {
 	// Mailer handles SendMail actions (default: MemMailer).
 	Mailer Mailer
 	// Runner handles RunExternal actions (default: MemRunner).
 	Runner Runner
+	// Persister handles Persist actions and LAT checkpoints (default:
+	// engine disk tables).
+	Persister Persister
+	// Failsafe tunes the fail-safe layer.
+	Failsafe FailsafeOptions
 }
 
 // SQLCM is the continuous-monitoring framework attached to one engine.
 type SQLCM struct {
-	eng     *engine.Engine
-	ruleEng *rules.Engine
-	bus     *event.Bus
-	hooks   *event.Hooks
-	timers  *rules.TimerManager
-	sigs    *monitor.SigCache
-	txns    *monitor.TxnTracker
-	mailer  Mailer
-	runner  Runner
+	eng       *engine.Engine
+	ruleEng   *rules.Engine
+	bus       *event.Bus
+	hooks     *event.Hooks
+	timers    *rules.TimerManager
+	sigs      *monitor.SigCache
+	txns      *monitor.TxnTracker
+	mailer    Mailer
+	runner    Runner
+	persister Persister
+	box       *outbox.Outbox
+	ckpt      *checkpointer
 
 	latMu sync.RWMutex
 	lats  map[string]*lat.Table
@@ -127,26 +165,59 @@ func Attach(eng *engine.Engine, opts Options) *SQLCM {
 	if s.runner == nil {
 		s.runner = &MemRunner{}
 	}
+	s.persister = opts.Persister
+	if s.persister == nil {
+		s.persister = &enginePersister{eng: eng}
+	}
+	s.box = outbox.New(opts.Failsafe.Outbox)
 	s.ruleEng = rules.NewEngine((*env)(s))
+	s.ruleEng.SetQuarantineThreshold(opts.Failsafe.QuarantineThreshold)
 	// All event intake — engine hooks, timer alarms, LAT evictions — goes
 	// through one bus in front of the rule engine.
 	s.bus = event.NewBus(s.ruleEng)
+	if opts.Failsafe.DispatchBudget > 0 {
+		s.bus.SetBudget(opts.Failsafe.DispatchBudget, opts.Failsafe.ShedSampleN)
+	}
+	// Quarantine decisions surface as Monitor.RuleQuarantined events, so
+	// rules can alert on the health of the monitoring layer itself.
+	s.ruleEng.SetOnQuarantine(func(info rules.QuarantineInfo) {
+		obj := &monitor.MonitorObject{Rule: info.Rule, Failures: info.Failures, Error: info.Err, At: info.At}
+		s.bus.Dispatch(monitor.EvRuleQuarantined, map[string]monitor.Object{monitor.ClassMonitor: obj})
+	})
 	s.hooks = event.NewHooks(s.bus, s.sigs, s.txns)
 	s.timers = rules.NewTimerManager(s.bus)
+	s.ckpt = newCheckpointer(s, opts.Failsafe.CheckpointInterval)
 	eng.SetHooks(s.hooks)
 	s.attached.Store(true)
 	return s
 }
 
-// Detach removes SQLCM from the engine (no monitoring overhead remains)
-// and stops all timers.
-func (s *SQLCM) Detach() {
+// Detach removes SQLCM from the engine (no monitoring overhead remains),
+// stops all timers, takes a final checkpoint of marked LATs, and drains
+// the action outbox (bounded by its drain timeout). The error reports
+// work abandoned by a timed-out drain.
+func (s *SQLCM) Detach() error {
 	if !s.attached.Swap(false) {
-		return
+		return nil
 	}
 	s.eng.SetHooks(nil)
 	s.timers.Close()
+	s.ckpt.stop()
+	return s.box.Close()
 }
+
+// Flush blocks until every queued action has executed (or the timeout
+// elapses), reporting whether the outbox is idle. Callers that need
+// read-your-writes over persisted monitoring output use it to quiesce.
+func (s *SQLCM) Flush(timeout time.Duration) bool {
+	return s.box.Drain(timeout)
+}
+
+// Outbox exposes the async action executor (stats, dead letters).
+func (s *SQLCM) Outbox() *outbox.Outbox { return s.box }
+
+// Bus exposes the event bus (dispatch counters, shedding state).
+func (s *SQLCM) Bus() *event.Bus { return s.bus }
 
 // Suspend temporarily removes the hook set without tearing down rules,
 // LATs or timers; Resume reinstalls it. Used to interleave monitored and
@@ -266,7 +337,9 @@ func (s *SQLCM) LATs() []string {
 }
 
 // PersistLAT writes the LAT's current rows (plus a timestamp column) to a
-// disk-resident table, creating it on first use (§4.3).
+// disk-resident table, creating it on first use (§4.3). Unlike the
+// rule-triggered Persist action, this direct API is synchronous: when it
+// returns, the rows are in the table.
 func (s *SQLCM) PersistLAT(name, table string) error {
 	t, ok := s.LAT(name)
 	if !ok {
@@ -274,7 +347,7 @@ func (s *SQLCM) PersistLAT(name, table string) error {
 	}
 	cols := t.Spec().Columns()
 	for _, row := range t.Rows() {
-		if err := (*env)(s).Persist(table, cols, kindsOf(row), row); err != nil {
+		if err := s.persister.Persist(table, cols, kindsOf(row), row); err != nil {
 			return err
 		}
 	}
@@ -345,16 +418,20 @@ func (s *SQLCM) RemoveRule(name string) bool { return s.ruleEng.RemoveRule(name)
 // rules.Env implementation
 // ---------------------------------------------------------------------------
 
-// env adapts SQLCM to the rule engine's environment interface.
-type env SQLCM
+// NewEnginePersister returns the default engine-backed Persister, exposed
+// so fault-injection harnesses can wrap it.
+func NewEnginePersister(eng *engine.Engine) Persister { return &enginePersister{eng: eng} }
 
-func (e *env) LAT(name string) (*lat.Table, bool) { return (*SQLCM)(e).LAT(name) }
+// enginePersister is the default Persister: rows go to a disk-resident
+// table with an extra timestamp column, the table being created on first
+// use.
+type enginePersister struct {
+	eng *engine.Engine
+}
 
-// Persist implements rules.Env: rows go to a disk-resident table with an
-// extra timestamp column, the table being created on first use.
-func (e *env) Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error {
-	s := (*SQLCM)(e)
-	if _, err := s.eng.Catalog().Table(table); err != nil {
+// Persist implements Persister.
+func (p *enginePersister) Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error {
+	if _, err := p.eng.Catalog().Table(table); err != nil {
 		defs := make([]catalog.Column, 0, len(cols)+1)
 		for i, c := range cols {
 			k := kinds[i]
@@ -364,9 +441,9 @@ func (e *env) Persist(table string, cols []string, kinds []sqltypes.Kind, row []
 			defs = append(defs, catalog.Column{Name: c, Type: k})
 		}
 		defs = append(defs, catalog.Column{Name: "sqlcm_ts", Type: sqltypes.KindTime})
-		if err := s.eng.CreateTable(table, defs); err != nil {
+		if err := p.eng.CreateTable(table, defs); err != nil {
 			// Lost a creation race: proceed if the table now exists.
-			if _, err2 := s.eng.Catalog().Table(table); err2 != nil {
+			if _, err2 := p.eng.Catalog().Table(table); err2 != nil {
 				return err
 			}
 		}
@@ -374,12 +451,59 @@ func (e *env) Persist(table string, cols []string, kinds []sqltypes.Kind, row []
 	full := make([]sqltypes.Value, 0, len(row)+1)
 	full = append(full, row...)
 	full = append(full, sqltypes.NewTime(time.Now()))
-	return s.eng.InsertRowDirect(table, full)
+	return p.eng.InsertRowDirect(table, full)
 }
 
-func (e *env) SendMail(addr, body string) error { return (*SQLCM)(e).mailer.Send(addr, body) }
+// env adapts SQLCM to the rule engine's environment interface. The
+// side-effecting actions (Persist, SendMail, RunExternal) never run in the
+// query thread that fired the rule: they enqueue onto the outbox, which
+// retries with backoff and sheds under overload rather than blocking.
+type env SQLCM
 
-func (e *env) RunExternal(cmd string) error { return (*SQLCM)(e).runner.Run(cmd) }
+func (e *env) LAT(name string) (*lat.Table, bool) { return (*SQLCM)(e).LAT(name) }
+
+// Persist implements rules.Env by deferring the row to the outbox
+// (high-priority: monitoring data beats notifications when shedding).
+func (e *env) Persist(table string, cols []string, kinds []sqltypes.Kind, row []sqltypes.Value) error {
+	s := (*SQLCM)(e)
+	s.box.TryEnqueue(outbox.Job{
+		Kind:     outbox.Persist,
+		Priority: outbox.High,
+		Label:    "persist:" + table,
+		Do:       func() error { return s.persister.Persist(table, cols, kinds, row) },
+	})
+	return nil
+}
+
+func (e *env) SendMail(addr, body string) error {
+	s := (*SQLCM)(e)
+	s.box.TryEnqueue(outbox.Job{
+		Kind:  outbox.Mail,
+		Label: "mail:" + addr,
+		Do:    func() error { return s.mailer.Send(addr, body) },
+	})
+	return nil
+}
+
+func (e *env) RunExternal(cmd string) error {
+	s := (*SQLCM)(e)
+	s.box.TryEnqueue(outbox.Job{
+		Kind:  outbox.External,
+		Label: "external:" + firstWord(cmd),
+		Do:    func() error { return s.runner.Run(cmd) },
+	})
+	return nil
+}
+
+// firstWord labels an external command by its program name.
+func firstWord(cmd string) string {
+	for i := 0; i < len(cmd); i++ {
+		if cmd[i] == ' ' {
+			return cmd[:i]
+		}
+	}
+	return cmd
+}
 
 func (e *env) CancelQuery(id int64) bool { return (*SQLCM)(e).eng.CancelQuery(id) }
 

@@ -27,6 +27,14 @@ func newMonitored(t *testing.T) (*engine.Engine, *SQLCM) {
 	return eng, s
 }
 
+// flush quiesces the async action outbox so tests can read side effects.
+func flush(t *testing.T, s *SQLCM) {
+	t.Helper()
+	if !s.Flush(5 * time.Second) {
+		t.Fatal("outbox did not drain")
+	}
+}
+
 func mustExec(t *testing.T, sess *engine.Session, sql string) *engine.Result {
 	t.Helper()
 	res, err := sess.Exec(sql, nil)
@@ -56,6 +64,7 @@ func TestSlowQueryPersistRule(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustExec(t, sess, "SELECT COUNT(*) FROM items")
+	flush(t, s)
 	rows, err := eng.ReadTableDirect("slow_q")
 	if err != nil {
 		t.Fatal(err)
@@ -112,6 +121,7 @@ func TestExample1OutlierDetection(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		mustExec(t, sess, "EXEC lookup 1, 200")
 	}
+	flush(t, s)
 	rows, err := eng.ReadTableDirect("outliers")
 	if err != nil {
 		t.Fatalf("no outliers persisted: %v", err)
@@ -337,6 +347,7 @@ func TestSendMailOnThreshold(t *testing.T) {
 		t.Fatal(err)
 	}
 	mustExec(t, sess, "SELECT COUNT(*) FROM items")
+	flush(t, s)
 	mm := s.Mailer().(*MemMailer)
 	if sent := mm.Sent(); len(sent) != 1 || !strings.Contains(sent[0].Body, "COUNT(*)") {
 		t.Fatalf("mail: %+v", sent)
@@ -371,6 +382,7 @@ func TestEvictedRowRulePersists(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		mustExec(t, sess, fmt.Sprintf("SELECT val FROM items WHERE id = %d", i+1))
 	}
+	flush(t, s)
 	rows, err := eng.ReadTableDirect("evicted_rows")
 	if err != nil {
 		t.Fatal(err)
@@ -512,6 +524,7 @@ func TestDynamicRuleToggling(t *testing.T) {
 	mustExec(t, sess, "SELECT COUNT(*) FROM items")
 	r.SetEnabled(true)
 	mustExec(t, sess, "SELECT COUNT(*) FROM items")
+	flush(t, s)
 	mm := s.Mailer().(*MemMailer)
 	if got := len(mm.Sent()); got != 2 {
 		t.Fatalf("mails: %d", got)

@@ -28,6 +28,10 @@ type Config struct {
 	PoolPages int
 	// DataPath, when set, backs pages with a file; empty uses memory.
 	DataPath string
+	// Disk, when set, overrides the disk manager entirely (DataPath is
+	// ignored). Fault-injection harnesses use it to wrap the page store
+	// with failing or slow writes.
+	Disk storage.DiskManager
 	// LockTimeout bounds lock waits; zero waits forever (deadlock detection
 	// still applies). Default 10s.
 	LockTimeout time.Duration
@@ -84,7 +88,9 @@ type cachedPlan struct {
 func Open(cfg Config) (*Engine, error) {
 	cfg = cfg.withDefaults()
 	var disk storage.DiskManager
-	if cfg.DataPath != "" {
+	if cfg.Disk != nil {
+		disk = cfg.Disk
+	} else if cfg.DataPath != "" {
 		fd, err := storage.NewFileDisk(cfg.DataPath)
 		if err != nil {
 			return nil, err
@@ -453,6 +459,57 @@ func (e *Engine) TruncateTableDirect(table string) error {
 	}
 	e.cat.AddRows(table, -1<<40) // clamps at zero
 	return e.tm.Commit(t)
+}
+
+// DeleteRowsDirect removes every row matching pred outside any user
+// transaction (used by the LAT checkpointer to garbage-collect superseded
+// checkpoint generations). It returns the number of rows deleted.
+func (e *Engine) DeleteRowsDirect(table string, pred func(row []sqltypes.Value) bool) (int64, error) {
+	ts, err := e.reg.Store(table)
+	if err != nil {
+		return 0, err
+	}
+	t := e.tm.Begin(true)
+	ctx := &exec.Ctx{Txn: t}
+	if err := e.locks.Acquire(t.ID, lock.TableResource(table), lock.Exclusive); err != nil {
+		e.tm.Rollback(t) //nolint:errcheck
+		return 0, err
+	}
+	ncols := len(ts.Meta.Columns)
+	type victim struct {
+		rid storage.RID
+		row []sqltypes.Value
+	}
+	var victims []victim
+	var decodeErr error
+	err = ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+		row, err := exec.DecodeRow(rec, ncols)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		if pred(row) {
+			victims = append(victims, victim{rid: rid, row: row})
+		}
+		return true
+	})
+	if err == nil {
+		err = decodeErr
+	}
+	if err != nil {
+		e.tm.Rollback(t) //nolint:errcheck
+		return 0, err
+	}
+	for _, v := range victims {
+		if err := exec.DeleteRow(ctx, ts, v.rid, v.row, e.cat); err != nil {
+			e.tm.Rollback(t) //nolint:errcheck
+			return 0, err
+		}
+	}
+	if err := e.tm.Commit(t); err != nil {
+		return 0, err
+	}
+	return int64(len(victims)), nil
 }
 
 // ReadTableDirect returns all rows of a table (used to reload persisted

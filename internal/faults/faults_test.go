@@ -1,0 +1,164 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"sqlcm/internal/engine"
+	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/storage"
+)
+
+func TestDiskFaultToggles(t *testing.T) {
+	d := NewDisk(storage.NewMemDisk())
+	id, err := d.AllocatePage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, storage.PageSize)
+	buf[0] = 42
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	d.FailWrites(true)
+	if err := d.WritePage(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write err = %v, want injected", err)
+	}
+	if d.FailedWrites.Load() != 1 {
+		t.Fatalf("failed writes: %d", d.FailedWrites.Load())
+	}
+	// Reads keep working through a write outage.
+	got := make([]byte, storage.PageSize)
+	if err := d.ReadPage(id, got); err != nil || got[0] != 42 {
+		t.Fatalf("read: %v, byte %d", err, got[0])
+	}
+	d.FailWrites(false)
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+
+	d.SlowWrites(20 * time.Millisecond)
+	start := time.Now()
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("slow write returned in %v", elapsed)
+	}
+}
+
+func TestEngineRunsOnFaultyDisk(t *testing.T) {
+	// A slow disk under the buffer pool must not break query execution —
+	// only slow it down.
+	d := NewDisk(storage.NewMemDisk())
+	eng, err := engine.Open(engine.Config{PoolPages: 16, Disk: d, LockTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	sess := eng.NewSession("dba", "app")
+	if _, err := sess.Exec("CREATE TABLE ft (id INT PRIMARY KEY, v FLOAT)", nil); err != nil {
+		t.Fatal(err)
+	}
+	d.SlowWrites(time.Millisecond)
+	for i := 1; i <= 50; i++ {
+		if _, err := sess.Exec(fmt.Sprintf("INSERT INTO ft VALUES (%d, %g)", i, float64(i)), nil); err != nil {
+			t.Fatalf("insert %d on slow disk: %v", i, err)
+		}
+	}
+	d.SlowWrites(0)
+	rows, err := eng.ReadTableDirect("ft")
+	if err != nil || len(rows) != 50 {
+		t.Fatalf("rows: %d, err: %v", len(rows), err)
+	}
+}
+
+type recordingPersister struct{ calls int }
+
+func (r *recordingPersister) Persist(string, []string, []sqltypes.Kind, []sqltypes.Value) error {
+	r.calls++
+	return nil
+}
+
+func TestFlakyPersisterModes(t *testing.T) {
+	inner := &recordingPersister{}
+	p := &FlakyPersister{Inner: inner}
+	ok := func() error { return p.Persist("t", nil, nil, nil) }
+
+	p.FailNext(2)
+	for i := 0; i < 2; i++ {
+		if err := ok(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: %v, want injected", i, err)
+		}
+	}
+	if err := ok(); err != nil {
+		t.Fatalf("after transient outage: %v", err)
+	}
+
+	p.FailCallsAfter(2)
+	for i := 0; i < 2; i++ {
+		if err := ok(); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+	}
+	if err := ok(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("after pass budget: %v, want injected", err)
+	}
+	p.Reset()
+
+	p.Break(true)
+	if err := ok(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("broken: %v, want injected", err)
+	}
+	p.Break(false)
+	if err := ok(); err != nil {
+		t.Fatalf("healed: %v", err)
+	}
+	if inner.calls != 4 || p.Attempts.Load() != 8 || p.Failures.Load() != 4 {
+		t.Fatalf("inner=%d attempts=%d failures=%d", inner.calls, p.Attempts.Load(), p.Failures.Load())
+	}
+}
+
+func TestFlakyMailer(t *testing.T) {
+	m := &FlakyMailer{}
+	m.Break(true)
+	if err := m.Send("a", "b"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("broken send: %v", err)
+	}
+	m.Break(false)
+	if err := m.Send("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if sent := m.Sent(); len(sent) != 1 || m.Failures.Load() != 1 {
+		t.Fatalf("sent=%v failures=%d", sent, m.Failures.Load())
+	}
+}
+
+func TestHungRunnerReleases(t *testing.T) {
+	r := &HungRunner{}
+	r.Hang()
+	done := make(chan error, 1)
+	go func() { done <- r.Run("cmd") }()
+	select {
+	case <-done:
+		t.Fatal("hung run returned before release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if r.Started.Load() != 1 || r.Finished.Load() != 0 {
+		t.Fatalf("started=%d finished=%d", r.Started.Load(), r.Finished.Load())
+	}
+	r.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Released: future runs return immediately.
+	if err := r.Run("cmd2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Commands(); len(got) != 2 {
+		t.Fatalf("commands: %v", got)
+	}
+}

@@ -85,6 +85,43 @@ func (a *aggState) add(spec *Spec, col *AggCol, v sqltypes.Value, now time.Time)
 	}
 }
 
+// restoreFrom reconstructs the accumulator from a checkpointed output
+// value (see Table.Restore for the per-function exactness contract).
+func (a *aggState) restoreFrom(spec *Spec, col *AggCol, v sqltypes.Value, now time.Time) {
+	if col.Aging {
+		// Block structure is not recoverable from one output value: fold
+		// the checkpointed value back as a single observation.
+		if !v.IsNull() {
+			a.addAging(spec, v, now)
+		}
+		return
+	}
+	if v.IsNull() {
+		return
+	}
+	a.first, a.last, a.hasF = v, v, true
+	switch col.Func {
+	case Count:
+		a.count = v.Int()
+	case Sum, Avg:
+		if f, ok := v.AsFloat(); ok {
+			a.sum, a.sumSq = f, f*f
+			a.count, a.numeric = 1, 1
+		}
+	case Stdev:
+		// Not reconstructible (needs n, Σx, Σx²): resume as one observation.
+		if f, ok := v.AsFloat(); ok {
+			a.sum, a.sumSq = f, f*f
+			a.count, a.numeric = 1, 1
+		}
+	case Min, Max:
+		a.min, a.max, a.hasMM = v, v, true
+		a.count = 1
+	case First, Last:
+		a.count = 1
+	}
+}
+
 func (a *aggState) addAging(spec *Spec, v sqltypes.Value, now time.Time) {
 	a.expire(spec, now)
 	blockStart := now.Truncate(spec.AgingBlock)

@@ -27,6 +27,7 @@ const (
 	ClassBlocked     = "Blocked"
 	ClassTimer       = "Timer"
 	ClassLATRow      = "LATRow"
+	ClassMonitor     = "Monitor"
 )
 
 // Event identifies a monitored event: a class and an event name, written
@@ -52,6 +53,7 @@ var (
 	EvTxnRollback        = Event{ClassTransaction, "Rollback"}
 	EvTimerAlarm         = Event{ClassTimer, "Alarm"}
 	EvLATRowEvicted      = Event{ClassLATRow, "Evicted"}
+	EvRuleQuarantined    = Event{ClassMonitor, "RuleQuarantined"}
 )
 
 // allEvents lists the schema's events in declaration order; its positions
@@ -60,6 +62,7 @@ var allEvents = []Event{
 	EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel,
 	EvQueryRollback, EvQueryBlocked, EvQueryBlockReleased,
 	EvTxnCommit, EvTxnRollback, EvTimerAlarm, EvLATRowEvicted,
+	EvRuleQuarantined,
 }
 
 // eventByName and eventIndex are built once at package init so event
@@ -489,6 +492,35 @@ func (r *LATRowObject) Get(attr string) (sqltypes.Value, bool) {
 		}
 	}
 	return sqltypes.Null, false
+}
+
+// MonitorObject exposes a monitoring-infrastructure incident (such as a
+// rule being quarantined after repeated failures) as a monitored object, so
+// rules can alert on the health of the monitoring layer itself.
+type MonitorObject struct {
+	Rule     string
+	Failures int64
+	Error    string
+	At       time.Time
+}
+
+// Class implements Object.
+func (m *MonitorObject) Class() string { return ClassMonitor }
+
+// Get implements Object.
+func (m *MonitorObject) Get(attr string) (sqltypes.Value, bool) {
+	switch attr {
+	case "Rule":
+		return sqltypes.NewString(m.Rule), true
+	case "Failures":
+		return sqltypes.NewInt(m.Failures), true
+	case "Error":
+		return sqltypes.NewString(m.Error), true
+	case "Current_Time":
+		return sqltypes.NewTime(m.At), true
+	default:
+		return sqltypes.Null, false
+	}
 }
 
 // ---------------------------------------------------------------------------

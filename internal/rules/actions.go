@@ -92,8 +92,16 @@ func (a *PersistAction) Run(env Env, ctx *Ctx) error {
 	}
 	cols := make([]string, len(a.Attrs))
 	row := make([]sqltypes.Value, len(a.Attrs))
+	seen := make(map[string]string, len(a.Attrs))
 	for i, ref := range a.Attrs {
 		cols[i] = sanitizeColumn(ref)
+		// Sanitizing maps '.' to '_', so distinct references can collide
+		// ("Blocker.Duration" vs a literal "Blocker_Duration"); persisting
+		// both under one column would silently drop data, so reject.
+		if prev, dup := seen[cols[i]]; dup {
+			return fmt.Errorf("rules: Persist: attributes %q and %q both map to column %q", prev, ref, cols[i])
+		}
+		seen[cols[i]] = ref
 		v, ok := ctx.Attr(ref)
 		if !ok {
 			return fmt.Errorf("rules: Persist: unresolved attribute %q", ref)

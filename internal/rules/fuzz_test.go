@@ -1,0 +1,85 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/sqltypes"
+)
+
+// fuzzEnv resolves a fixed attribute set; everything else is unknown.
+func fuzzEnv() (Env, *Ctx) {
+	obj := &fakeObj{class: monitor.ClassQuery, attrs: map[string]sqltypes.Value{
+		"ID":       sqltypes.NewInt(7),
+		"Duration": sqltypes.NewFloat(1.5),
+		"User":     sqltypes.NewString("dba"),
+	}}
+	ctx := &Ctx{Objects: map[string]monitor.Object{monitor.ClassQuery: obj}, Primary: obj}
+	return newFakeEnv(), ctx
+}
+
+// FuzzSubstitute hardens the placeholder scanner against unmatched,
+// nested, empty and adjacent braces: it must never panic, always
+// terminate, and preserve text outside well-formed placeholders.
+func FuzzSubstitute(f *testing.F) {
+	f.Add("plain text, no braces")
+	f.Add("known {ID} and unknown {nope}")
+	f.Add("unmatched { opener")
+	f.Add("unmatched } closer")
+	f.Add("{}")
+	f.Add("{{nested {ID}}}")
+	f.Add("adjacent {ID}{User}{Duration}")
+	f.Add("trailing {")
+	f.Add("{unclosed at end")
+	f.Add("}{ reversed")
+	f.Add("deep {{{{{{ID}}}}}}")
+	f.Add("LAT-style {L.AvgD} refs")
+	f.Add("unicode {Düration} braces 💥 {")
+
+	env, ctx := fuzzEnv()
+	f.Fuzz(func(t *testing.T, text string) {
+		out := Substitute(env, text, ctx)
+
+		// Termination + no panic are implied by getting here. Sanity: the
+		// output never shrinks below the input minus all well-formed
+		// placeholder syntax, and known refs are substituted.
+		if !strings.ContainsRune(text, '{') && out != text {
+			t.Fatalf("brace-free text altered: %q → %q", text, out)
+		}
+		// A lone unmatched opener passes everything through verbatim from
+		// that point, so the tail must be preserved.
+		if i := strings.IndexByte(text, '{'); i >= 0 && !strings.ContainsRune(text[i:], '}') {
+			if !strings.HasSuffix(out, text[i:]) {
+				t.Fatalf("unterminated tail mangled: %q → %q", text, out)
+			}
+		}
+		// Unknown refs are kept as-is, so substitution is idempotent for
+		// outputs that contain no known refs anymore.
+		out2 := Substitute(env, out, ctx)
+		out3 := Substitute(env, out2, ctx)
+		if out3 != out2 {
+			t.Fatalf("substitution not idempotent: %q → %q → %q", out, out2, out3)
+		}
+	})
+}
+
+func TestSubstituteEdgeCases(t *testing.T) {
+	env, ctx := fuzzEnv()
+	for _, tc := range []struct{ in, want string }{
+		{"", ""},
+		{"{ID}", "7"},
+		{"{}", "{}"},
+		{"a{b", "a{b"},
+		{"a}b", "a}b"},
+		{"{ID", "{ID"},
+		{"ID}", "ID}"},
+		{"{{ID}}", "{{ID}}"}, // ref "{ID" is unknown → kept verbatim, plus the tail "}"
+		{"x{ID}y{User}z", "x7ydbaz"},
+		{"{nope}", "{nope}"},
+	} {
+		if got := Substitute(env, tc.in, ctx); got != tc.want {
+			t.Errorf("Substitute(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -90,6 +90,12 @@ type Rule struct {
 	Actions   []Action
 
 	enabled atomic.Bool
+	// quarantined marks a rule removed from dispatch after repeated
+	// panicking evaluations (see failsafe.go); distinct from enabled so an
+	// operator toggle does not silently clear a health-based removal.
+	quarantined atomic.Bool
+	// consecFails counts consecutive panicking evaluations.
+	consecFails atomic.Int32
 	// cond is the condition compiled to closures at registration time.
 	cond condFn
 	// classes referenced by the condition but not bound by the event; the
@@ -113,6 +119,7 @@ var knownClasses = map[string]bool{
 	monitor.ClassBlocked:     true,
 	monitor.ClassTimer:       true,
 	monitor.ClassLATRow:      true,
+	monitor.ClassMonitor:     true,
 }
 
 // ruleIndex is an immutable snapshot of the registered rule set. Readers
@@ -124,10 +131,16 @@ type ruleIndex struct {
 	byEvent map[monitor.Event][]*Rule
 }
 
-// buildIndex constructs the immutable index for a rule slice.
+// buildIndex constructs the immutable index for a rule slice. Quarantined
+// rules stay in the rule list (visible to introspection and Reinstate) but
+// are omitted from the per-event dispatch lists, so the hot path pays
+// nothing for them.
 func buildIndex(rules []*Rule) *ruleIndex {
 	idx := &ruleIndex{rules: rules, byEvent: make(map[monitor.Event][]*Rule)}
 	for _, r := range rules {
+		if r.quarantined.Load() {
+			continue
+		}
 		idx.byEvent[r.Event] = append(idx.byEvent[r.Event], r)
 	}
 	return idx
@@ -145,13 +158,16 @@ func buildIndex(rules []*Rule) *ruleIndex {
 type Engine struct {
 	env Env
 
-	// writeMu serializes AddRule/RemoveRule; idx is the published index.
+	// writeMu serializes AddRule/RemoveRule/quarantine; idx is the
+	// published index.
 	writeMu sync.Mutex
 	idx     atomic.Pointer[ruleIndex]
 
 	evaluations atomic.Int64
 	fired       atomic.Int64
 	actionErrs  atomic.Int64
+
+	failsafeState
 }
 
 // NewEngine creates a rule engine over env.
@@ -180,6 +196,8 @@ type Stats struct {
 	Evaluations int64 // condition evaluations (one per object combination)
 	Fired       int64 // rule firings (condition true)
 	ActionErrs  int64
+	Panics      int64 // recovered panics in conditions or actions
+	Quarantines int64 // rules removed from dispatch after repeated panics
 	Rules       int
 }
 
@@ -190,6 +208,8 @@ func (e *Engine) Stats() Stats {
 		Evaluations: e.evaluations.Load(),
 		Fired:       e.fired.Load(),
 		ActionErrs:  e.actionErrs.Load(),
+		Panics:      e.panics.Load(),
+		Quarantines: e.quarantines.Load(),
 		Rules:       n,
 	}
 }
@@ -316,11 +336,11 @@ func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 			continue
 		}
 		if len(r.freeClasses) == 0 {
-			e.evalRule(r, &base)
+			e.safeEvalRule(r, &base)
 			continue
 		}
 		for _, ctx := range e.expand(r, ev, objs) {
-			e.evalRule(r, ctx)
+			e.safeEvalRule(r, ctx)
 		}
 	}
 }

@@ -25,6 +25,10 @@ type TimerManager struct {
 	mu     sync.Mutex
 	timers map[string]*timerState
 	closed bool
+	// wg tracks every timer goroutine ever started (including ones
+	// superseded by a re-arm), so Close can wait for all of them to exit
+	// and guarantee no Dispatch call happens after Close returns.
+	wg sync.WaitGroup
 }
 
 type timerState struct {
@@ -62,6 +66,7 @@ func (m *TimerManager) Set(name string, period time.Duration, count int) error {
 	}
 	st := &timerState{name: name, cancel: make(chan struct{})}
 	m.timers[name] = st
+	m.wg.Add(1)
 	go m.run(st, period, count)
 	return nil
 }
@@ -77,18 +82,23 @@ func (m *TimerManager) Active() []string {
 	return out
 }
 
-// Close disables every timer.
+// Close disables every timer and waits for all timer goroutines to exit:
+// after Close returns, no alarm can reach the dispatcher, so the rule
+// engine (and the engine behind it) may be torn down safely.
 func (m *TimerManager) Close() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.closed = true
 	for _, st := range m.timers {
 		close(st.cancel)
 	}
 	m.timers = make(map[string]*timerState)
+	m.mu.Unlock()
+	// Wait outside the lock: exiting goroutines take m.mu to deregister.
+	m.wg.Wait()
 }
 
 func (m *TimerManager) run(st *timerState, period time.Duration, count int) {
+	defer m.wg.Done()
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	fired := 0
@@ -97,6 +107,13 @@ func (m *TimerManager) run(st *timerState, period time.Duration, count int) {
 		case <-st.cancel:
 			return
 		case now := <-ticker.C:
+			// A tick and a cancel can be ready simultaneously; prefer the
+			// cancel so a disabled timer does not fire a late alarm.
+			select {
+			case <-st.cancel:
+				return
+			default:
+			}
 			st.seq++
 			obj := &monitor.TimerObject{Name: st.name, Now: now, Seq: st.seq}
 			m.dispatcher.Dispatch(monitor.EvTimerAlarm, map[string]monitor.Object{

@@ -3,11 +3,22 @@
 # The race tier re-runs every test under the race detector; the
 # concurrency tests in internal/lat, internal/rules, internal/monitor and
 # internal/event are written to surface latch-ordering and published-state
-# bugs only -race can see.
+# bugs only -race can see. The chaos tier exercises the fail-safe layer
+# (panic quarantine, outbox retry/shedding, checkpoint crash-recovery)
+# under fault injection. A short fuzz smoke hardens the placeholder
+# substitution scanner.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
 go test ./...
 go test -race ./...
+go test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
+go test -race -count=1 ./internal/faults/ ./internal/outbox/
+go test -run='^$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/

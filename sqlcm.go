@@ -33,6 +33,7 @@ import (
 	"sqlcm/internal/core"
 	"sqlcm/internal/engine"
 	"sqlcm/internal/lat"
+	"sqlcm/internal/outbox"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/sqltypes"
 )
@@ -131,6 +132,13 @@ type (
 	MemMailer = core.MemMailer
 	// MemRunner is the recording in-memory Runner.
 	MemRunner = core.MemRunner
+	// Persister writes monitoring rows to durable storage.
+	Persister = core.Persister
+	// FailsafeConfig tunes panic quarantine, the async action outbox,
+	// overload shedding, and crash-safe LAT checkpointing.
+	FailsafeConfig = core.FailsafeOptions
+	// OutboxConfig tunes the async action executor.
+	OutboxConfig = outbox.Config
 )
 
 // Config tunes a DB.
@@ -146,6 +154,11 @@ type Config struct {
 	Mailer Mailer
 	// Runner handles RunExternal actions (default: recording MemRunner).
 	Runner Runner
+	// Persister handles Persist actions and LAT checkpoints (default:
+	// engine disk tables).
+	Persister Persister
+	// Failsafe tunes the fail-safe monitoring layer.
+	Failsafe FailsafeConfig
 }
 
 // DB is an embedded, monitored database instance.
@@ -164,15 +177,39 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	mon := core.Attach(eng, core.Options{Mailer: cfg.Mailer, Runner: cfg.Runner})
+	mon := core.Attach(eng, core.Options{
+		Mailer:    cfg.Mailer,
+		Runner:    cfg.Runner,
+		Persister: cfg.Persister,
+		Failsafe:  cfg.Failsafe,
+	})
 	return &DB{eng: eng, mon: mon}, nil
 }
 
-// Close detaches monitoring and shuts the engine down.
+// Close detaches monitoring (draining queued actions and taking a final
+// checkpoint of marked LATs) and shuts the engine down. The error reports
+// actions abandoned by a timed-out drain or an engine shutdown failure.
 func (db *DB) Close() error {
-	db.mon.Detach()
-	return db.eng.Close()
+	err := db.mon.Detach()
+	if cerr := db.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
+
+// Flush blocks until every queued monitoring action has executed (or the
+// timeout elapses), reporting whether the outbox is idle. Rule actions run
+// asynchronously; call Flush before reading their side effects.
+func (db *DB) Flush(timeout time.Duration) bool { return db.mon.Flush(timeout) }
+
+// MarkForCheckpoint registers a LAT for crash-safe checkpointing into a
+// disk table and restores the newest consistent checkpoint found there.
+func (db *DB) MarkForCheckpoint(latName, table string) error {
+	return db.mon.MarkForCheckpoint(latName, table)
+}
+
+// CheckpointNow synchronously checkpoints one marked LAT.
+func (db *DB) CheckpointNow(latName string) error { return db.mon.CheckpointNow(latName) }
 
 // Session opens a client session; user and application name are monitoring
 // probes (the User and Application attributes of the Query class).
