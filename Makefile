@@ -1,12 +1,22 @@
 GO ?= go
 
-.PHONY: build vet test race chaos fuzz bench ci
+.PHONY: build vet lint test race chaos fuzz bench ci
 
 build:
 	$(GO) build ./...
 
+# Vet tier: go vet plus SQLCM's own analyzers — the hot-path and
+# recover-discipline source checks, and static analysis of the shipped
+# rule sets (which must be finding-free even in strict mode).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/sqlcm-vet -code .
+	$(GO) run ./cmd/sqlcm-vet -mode strict examples/rulesets
+
+# Lint tier: staticcheck at a pinned version (offline fallback runs the
+# in-repo analyzers instead), on top of the vet tier.
+lint: vet
+	./scripts/staticcheck.sh
 
 test:
 	$(GO) test ./...

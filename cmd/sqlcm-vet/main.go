@@ -1,0 +1,162 @@
+// Command sqlcm-vet statically analyzes SQLCM rule sets and, with -code,
+// the monitoring engine's own Go source.
+//
+// Usage:
+//
+//	sqlcm-vet [-mode strict|warn] file.rules [dir ...]
+//	sqlcm-vet -code [dir ...]
+//
+// In rules mode each argument is a .rules file or a directory searched
+// recursively for .rules files. Every file is parsed and the whole set is
+// checked: condition type errors against the monitored-class schemas,
+// unsatisfiable (dead) and always-true conditions, dangling LAT
+// references, trigger cycles and excessive trigger nesting, and
+// duplicate/shadowed rules.
+//
+// In -code mode each argument is a directory tree whose Go packages are
+// run through SQLCM's custom source analyzers (hot-path hygiene and the
+// recover discipline for rule callbacks); see internal/analysis.
+//
+// Exit status is 1 if any error-severity finding (or unreadable input)
+// was reported; -mode strict also fails on warnings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sqlcm/internal/analysis"
+	"sqlcm/internal/rulecheck"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("sqlcm-vet", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	mode := fs.String("mode", "warn", "strict|warn: strict also fails on warnings")
+	code := fs.Bool("code", false, "analyze Go source trees instead of .rules files")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: sqlcm-vet [-mode strict|warn] file.rules [dir ...]\n")
+		fmt.Fprintf(errw, "       sqlcm-vet -code [dir ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *mode != "strict" && *mode != "warn" {
+		fmt.Fprintf(errw, "sqlcm-vet: unknown -mode %q (want strict or warn)\n", *mode)
+		return 2
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		if *code {
+			paths = []string{"."}
+		} else {
+			fs.Usage()
+			return 2
+		}
+	}
+
+	var errs, warns int
+	if *code {
+		errs = runCode(paths, out, errw)
+	} else {
+		errs, warns = runRules(paths, out, errw)
+	}
+
+	if errs > 0 || (*mode == "strict" && warns > 0) {
+		return 1
+	}
+	return 0
+}
+
+// runCode analyzes Go source trees. Every finding from the source
+// analyzers is a hard error: the annotations are opt-in, so a finding
+// means annotated code regressed.
+func runCode(roots []string, out, errw io.Writer) (errs int) {
+	for _, root := range roots {
+		diags, err := analysis.RunTree(root)
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+			errs++
+			continue
+		}
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+			errs++
+		}
+	}
+	return errs
+}
+
+// runRules checks every .rules file reachable from the arguments.
+func runRules(paths []string, out, errw io.Writer) (errs, warns int) {
+	for _, path := range expandRules(paths, errw, &errs) {
+		e, w := checkRulesFile(path, out, errw)
+		errs += e
+		warns += w
+	}
+	return errs, warns
+}
+
+// expandRules resolves arguments to .rules files, walking directories.
+func expandRules(paths []string, errw io.Writer, errs *int) []string {
+	var files []string
+	for _, path := range paths {
+		info, err := os.Stat(path)
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+			*errs++
+			continue
+		}
+		if !info.IsDir() {
+			files = append(files, path)
+			continue
+		}
+		err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(p, ".rules") {
+				files = append(files, p)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+			*errs++
+		}
+	}
+	return files
+}
+
+func checkRulesFile(path string, out, errw io.Writer) (errs, warns int) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+		return 1, 0
+	}
+	set, diags, err := rulecheck.ParseSet(string(src))
+	if err != nil {
+		fmt.Fprintf(out, "%s: %v\n", path, err)
+		return 1, 0
+	}
+	diags = append(diags, rulecheck.Check(set)...)
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s: %s\n", path, d)
+		if d.Severity == rulecheck.Error {
+			errs++
+		} else {
+			warns++
+		}
+	}
+	return errs, warns
+}

@@ -1,0 +1,200 @@
+// Package analysis implements SQLCM's custom Go source analyzers and a
+// small self-contained driver for them, in the spirit of
+// golang.org/x/tools/go/analysis but using only the standard library's
+// go/ast and go/parser (the build environment is offline).
+//
+// The analyzers are annotation driven. Source carries machine-readable
+// directives in comments:
+//
+//	//sqlcm:hotpath    — this function runs on the monitoring hot path:
+//	                     calls that read the clock or allocate through
+//	                     fmt are flagged.
+//	//sqlcm:callback   — this function runs user rule code (conditions
+//	                     and actions): it may only be invoked from a
+//	                     function marked //sqlcm:recovered (or another
+//	                     callback already under that discipline).
+//	//sqlcm:recovered  — this function is a sanctioned recover site; the
+//	                     analyzer verifies it really defers a recover().
+//	//sqlcm:allow ...  — on (or immediately above) an offending line:
+//	                     suppress the finding, with a reason.
+//
+// The directives live with the code they constrain, so the checks keep
+// holding as the hot path evolves without a central configuration file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from a source analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass gives an analyzer one parsed package worth of files.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	name   string
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one source check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns every registered analyzer.
+func All() []*Analyzer { return []*Analyzer{HotPath, Recovered} }
+
+// RunFiles parses the given Go files as one package and runs every
+// analyzer over them. Findings come back sorted by position.
+func RunFiles(paths []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return runParsed(fset, files), nil
+}
+
+// RunDir analyzes the non-test Go files directly inside dir (one package
+// directory, not recursive).
+func RunDir(dir string) ([]Diagnostic, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	return RunFiles(paths)
+}
+
+// RunTree walks root recursively and analyzes every package directory
+// under it, skipping testdata, vendor and hidden directories.
+func RunTree(root string) ([]Diagnostic, error) {
+	var all []Diagnostic
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
+			return filepath.SkipDir
+		}
+		diags, err := RunDir(path)
+		if err != nil {
+			return err
+		}
+		all = append(all, diags...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortDiags(all)
+	return all, nil
+}
+
+func runParsed(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range All() {
+		pass := &Pass{
+			Fset:   fset,
+			Files:  files,
+			name:   a.Name,
+			report: func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+	sortDiags(diags)
+	return diags
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// hasDirective reports whether the function's doc comment carries the
+// //sqlcm:<name> directive.
+func hasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	want := "//sqlcm:" + name
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want || strings.HasPrefix(text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedLines returns the set of source lines covered by a
+// "//sqlcm:allow" comment: the comment's own line and the line below it
+// (so the directive can sit above a long statement).
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "sqlcm:allow") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}

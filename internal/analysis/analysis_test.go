@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func analyzeSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	return runParsed(fset, []*ast.File{f})
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(substrs), diags)
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].String(), want) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i], want)
+		}
+	}
+}
+
+func TestHotPathFlagsClockAndFmt(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import (
+	"fmt"
+	"time"
+)
+
+//sqlcm:hotpath
+func dispatch() {
+	start := time.Now()
+	_ = fmt.Sprintf("%v", start)
+	_ = time.Since(start)
+}
+`)
+	wantFindings(t, diags,
+		"call to time.Now in hot-path function dispatch",
+		"call to fmt.Sprintf in hot-path function dispatch",
+		"call to time.Since in hot-path function dispatch",
+	)
+}
+
+func TestHotPathIgnoresUnmarkedFunctions(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import "time"
+
+func cold() { _ = time.Now() }
+`)
+	wantFindings(t, diags)
+}
+
+func TestHotPathAllowDirective(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import "time"
+
+//sqlcm:hotpath
+func dispatch() {
+	start := time.Now() //sqlcm:allow gated behind an armed budget
+	//sqlcm:allow same, line above the call
+	_ = time.Since(start)
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestHotPathLocalVariableNotConfusedWithPackage(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+//sqlcm:hotpath
+func dispatch() {
+	var time clock
+	_ = time.Now()
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestRecoveredCallbackOutsideRecover(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+//sqlcm:callback
+func evalRule() {}
+
+func dispatch() {
+	evalRule()
+}
+`)
+	wantFindings(t, diags, "rule callback evalRule invoked from dispatch")
+}
+
+func TestRecoveredDisciplineSatisfied(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+//sqlcm:callback
+func evalRule() {}
+
+//sqlcm:recovered
+func safeEval() {
+	defer func() {
+		if p := recover(); p != nil {
+			_ = p
+		}
+	}()
+	evalRule()
+}
+
+func dispatch() { safeEval() }
+`)
+	wantFindings(t, diags)
+}
+
+func TestRecoveredMarkerWithoutRecover(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+//sqlcm:recovered
+func safeEval() {}
+`)
+	wantFindings(t, diags, "marked //sqlcm:recovered but never defers a recover()")
+}
+
+func TestCallbackMayCallCallback(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+//sqlcm:callback
+func runActions() {}
+
+//sqlcm:callback
+func evalRule() { runActions() }
+
+//sqlcm:recovered
+func safeEval() {
+	defer func() { recover() }()
+	evalRule()
+}
+`)
+	wantFindings(t, diags)
+}
+
+// The real hot path must be clean: this locks the repo's own annotations
+// in place.
+func TestRepoHotPathIsClean(t *testing.T) {
+	for _, dir := range []string{"../event", "../rules"} {
+		diags, err := RunDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: unexpected finding: %s", dir, d)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// HotPath flags calls that do not belong on the monitoring hot path. A
+// dispatch runs synchronously inside the engine's query thread for every
+// monitored event, so reading the clock or formatting strings there turns
+// into per-query overhead the embedder never asked for. Functions opt in
+// with //sqlcm:hotpath; a deliberate exception (e.g. a clock read gated
+// behind an optional latency budget) is suppressed line-by-line with
+// //sqlcm:allow <reason>.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid clock reads and fmt allocation in //sqlcm:hotpath functions",
+	Run:  runHotPath,
+}
+
+// bannedCalls maps package name -> function name -> short reason.
+var bannedCalls = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the clock on every event",
+		"Since": "reads the clock on every event",
+		"Until": "reads the clock on every event",
+	},
+	"fmt": {
+		"Sprintf":  "allocates per event",
+		"Sprint":   "allocates per event",
+		"Sprintln": "allocates per event",
+		"Errorf":   "allocates per event",
+		"Fprintf":  "formats per event",
+		"Fprint":   "formats per event",
+		"Fprintln": "formats per event",
+		"Printf":   "writes to stdout from the hot path",
+		"Print":    "writes to stdout from the hot path",
+		"Println":  "writes to stdout from the hot path",
+	},
+}
+
+func runHotPath(p *Pass) {
+	for _, file := range p.Files {
+		allowed := allowedLines(p.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasDirective(fn, "hotpath") {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok || pkg.Obj != nil { // Obj != nil: local variable, not a package
+					return true
+				}
+				reason, banned := bannedCalls[pkg.Name][sel.Sel.Name]
+				if !banned {
+					return true
+				}
+				if allowed[p.Fset.Position(call.Pos()).Line] {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"call to %s.%s in hot-path function %s: %s (suppress with //sqlcm:allow <reason>)",
+					pkg.Name, sel.Sel.Name, fn.Name.Name, reason)
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Recovered enforces the engine's panic-isolation discipline. User rule
+// code (conditions and actions) runs inside functions marked
+// //sqlcm:callback; a panic there must never unwind into the query thread
+// that raised the event, so every call to a callback function has to sit
+// inside a function marked //sqlcm:recovered — and a recovered function
+// must genuinely defer a recover(), or the marker is a lie.
+var Recovered = &Analyzer{
+	Name: "recovered",
+	Doc:  "rule-callback invocations must be wrapped in a deferred recover()",
+	Run:  runRecovered,
+}
+
+func runRecovered(p *Pass) {
+	// First pass over the package: collect the marked function names.
+	callbacks := map[string]bool{}
+	recovered := map[string]bool{}
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasDirective(fn, "callback") {
+				callbacks[fn.Name.Name] = true
+			}
+			if hasDirective(fn, "recovered") {
+				recovered[fn.Name.Name] = true
+			}
+		}
+	}
+
+	for _, file := range p.Files {
+		allowed := allowedLines(p.Fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if recovered[fn.Name.Name] && hasDirective(fn, "recovered") && !defersRecover(fn.Body) {
+				p.Reportf(fn.Pos(),
+					"function %s is marked //sqlcm:recovered but never defers a recover()",
+					fn.Name.Name)
+			}
+			// Calls inside a recovered or callback function are under the
+			// discipline already.
+			if recovered[fn.Name.Name] || callbacks[fn.Name.Name] {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := calleeName(call)
+				if !ok || !callbacks[name] {
+					return true
+				}
+				if allowed[p.Fset.Position(call.Pos()).Line] {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"rule callback %s invoked from %s, which is not marked //sqlcm:recovered: a panic in rule code would unwind into the caller",
+					name, fn.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// calleeName extracts the called function's unqualified name: f(...) or
+// recv.f(...).
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// defersRecover reports whether the body contains a defer statement whose
+// deferred function (directly or via a function literal) calls recover().
+func defersRecover(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(def.Call, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "recover" && id.Obj == nil {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}

@@ -19,6 +19,7 @@ import (
 	"sqlcm/internal/lat"
 	"sqlcm/internal/monitor"
 	"sqlcm/internal/outbox"
+	"sqlcm/internal/rulecheck"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/sqltypes"
 )
@@ -124,6 +125,10 @@ type Options struct {
 	Persister Persister
 	// Failsafe tunes the fail-safe layer.
 	Failsafe FailsafeOptions
+	// RuleCheck selects how static rule analysis treats findings at
+	// registration time: Warn (default) records them, Strict rejects
+	// rules with error-severity findings, Off skips analysis.
+	RuleCheck rulecheck.Mode
 }
 
 // SQLCM is the continuous-monitoring framework attached to one engine.
@@ -143,6 +148,8 @@ type SQLCM struct {
 
 	latMu sync.RWMutex
 	lats  map[string]*lat.Table
+
+	check ruleChecker
 
 	attached atomic.Bool
 }
@@ -169,6 +176,7 @@ func Attach(eng *engine.Engine, opts Options) *SQLCM {
 	if s.persister == nil {
 		s.persister = &enginePersister{eng: eng}
 	}
+	s.check.mode = opts.RuleCheck
 	s.box = outbox.New(opts.Failsafe.Outbox)
 	s.ruleEng = rules.NewEngine((*env)(s))
 	s.ruleEng.SetQuarantineThreshold(opts.Failsafe.QuarantineThreshold)
@@ -381,14 +389,24 @@ func (s *SQLCM) LoadLAT(name, table string) error {
 // Rule helpers
 // ---------------------------------------------------------------------------
 
-// AddRule registers a fully constructed rule.
+// AddRule registers a fully constructed rule, running static analysis
+// first (see Options.RuleCheck): Strict mode rejects rules with
+// error-severity findings, Warn mode records them (RuleWarnings).
 func (s *SQLCM) AddRule(r *rules.Rule) error {
-	if err := s.ruleEng.AddRule(r); err != nil {
+	return s.addRule(r, "")
+}
+
+// addRule vets, installs and records one rule; condSrc carries the
+// original condition text when the rule came from NewRule.
+func (s *SQLCM) addRule(r *rules.Rule, condSrc string) error {
+	diags, err := s.vetRule(r, condSrc)
+	if err != nil {
 		return err
 	}
-	if r.Event == monitor.EvLATRowEvicted {
-		s.ensureEvictHooks()
+	if err := s.installRule(r); err != nil {
+		return err
 	}
+	s.recordRule(r.Name, condSrc, diags)
 	return nil
 }
 
@@ -405,14 +423,20 @@ func (s *SQLCM) NewRule(name, event, condition string, actions ...rules.Action) 
 		return nil, err
 	}
 	r := &rules.Rule{Name: name, Event: ev, Condition: cond, Actions: actions}
-	if err := s.AddRule(r); err != nil {
+	if err := s.addRule(r, condition); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
 // RemoveRule unregisters a rule.
-func (s *SQLCM) RemoveRule(name string) bool { return s.ruleEng.RemoveRule(name) }
+func (s *SQLCM) RemoveRule(name string) bool {
+	if !s.ruleEng.RemoveRule(name) {
+		return false
+	}
+	s.forgetRule(name)
+	return true
+}
 
 // ---------------------------------------------------------------------------
 // rules.Env implementation

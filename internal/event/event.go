@@ -99,6 +99,8 @@ func (b *Bus) SetBudget(budget time.Duration, sampleN int) {
 
 // Dispatch counts and forwards one event. This is the only path by which
 // monitored events reach the rule engine.
+//
+//sqlcm:hotpath
 func (b *Bus) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 	b.total.Add(1)
 	i, known := monitor.EventIndex(ev)
@@ -121,9 +123,9 @@ func (b *Bus) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 			return
 		}
 	}
-	start := time.Now()
+	start := time.Now() //sqlcm:allow clock reads only happen with a latency budget armed
 	b.sink.Dispatch(ev, objs)
-	lat := int64(time.Since(start))
+	lat := int64(time.Since(start)) //sqlcm:allow see above
 	ewma := b.ewmaNs.Load()
 	ewma += (lat - ewma) >> ewmaShift
 	b.ewmaNs.Store(ewma)

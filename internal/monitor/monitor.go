@@ -522,36 +522,3 @@ func (m *MonitorObject) Get(attr string) (sqltypes.Value, bool) {
 		return sqltypes.Null, false
 	}
 }
-
-// ---------------------------------------------------------------------------
-// Schema description (Appendix A)
-// ---------------------------------------------------------------------------
-
-// Attribute describes one probe in the schema.
-type Attribute struct {
-	Name string
-	Kind sqltypes.Kind
-	Doc  string
-}
-
-// QueryAttributes lists the Query/Blocker/Blocked schema.
-func QueryAttributes() []Attribute {
-	return []Attribute{
-		{Name: "ID", Kind: sqltypes.KindInt, Doc: "statement id"},
-		{Name: "Session_ID", Kind: sqltypes.KindInt, Doc: "owning session"},
-		{Name: "User", Kind: sqltypes.KindString, Doc: "user that issued the statement"},
-		{Name: "Application", Kind: sqltypes.KindString, Doc: "application name"},
-		{Name: "Query_Text", Kind: sqltypes.KindString, Doc: "statement text"},
-		{Name: "Query_Type", Kind: sqltypes.KindString, Doc: "SELECT/INSERT/UPDATE/DELETE"},
-		{Name: "Logical_Signature", Kind: sqltypes.KindString, Doc: "logical query signature"},
-		{Name: "Physical_Signature", Kind: sqltypes.KindString, Doc: "physical plan signature"},
-		{Name: "Start_Time", Kind: sqltypes.KindTime, Doc: "execution start"},
-		{Name: "Duration", Kind: sqltypes.KindFloat, Doc: "execution time in seconds"},
-		{Name: "Estimated_Cost", Kind: sqltypes.KindFloat, Doc: "optimizer cost estimate"},
-		{Name: "Time_Blocked", Kind: sqltypes.KindFloat, Doc: "total lock wait (s)"},
-		{Name: "Times_Blocked", Kind: sqltypes.KindInt, Doc: "lock wait count"},
-		{Name: "Queries_Blocked", Kind: sqltypes.KindInt, Doc: "# of queries blocked by this one"},
-		{Name: "Number_of_instances", Kind: sqltypes.KindInt, Doc: "executions of this plan"},
-		{Name: "Wait_Time", Kind: sqltypes.KindFloat, Doc: "wait of the current blocking event (s)"},
-	}
-}

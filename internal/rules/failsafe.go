@@ -106,6 +106,8 @@ func (e *Engine) safeEvalRule(r *Rule, ctx *Ctx) {
 
 // evalRuleRecover runs one evaluation under recover, converting a panic in
 // the condition or the action list into an error.
+//
+//sqlcm:recovered
 func (e *Engine) evalRuleRecover(r *Rule, ctx *Ctx) (err error) {
 	defer func() {
 		if p := recover(); p != nil {

@@ -6,6 +6,7 @@
 package rules
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -316,6 +317,8 @@ func (r *Rule) analyze() error {
 // rule, synchronously in the caller's thread and in registration order
 // (§5: fixed rule order; all applicable rules run before the engine
 // resumes).
+//
+//sqlcm:hotpath
 func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 	// Lock-free: one atomic load of the copy-on-write index, then only the
 	// rules listening on this event are visited.
@@ -345,7 +348,12 @@ func (e *Engine) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
 	}
 }
 
-// evalRule evaluates one rule against one object combination.
+// evalRule evaluates one rule against one object combination. It runs
+// user rule code (condition and actions), so it must only be reached
+// through a recover-protected wrapper.
+//
+//sqlcm:hotpath
+//sqlcm:callback
 func (e *Engine) evalRule(r *Rule, ctx *Ctx) {
 	e.evaluations.Add(1)
 	if r.cond != nil {
@@ -447,6 +455,8 @@ func (e *Engine) evalCond(cond sqlparser.Expr, ctx *Ctx) (bool, error) {
 }
 
 // runCond evaluates a compiled condition against a context.
+//
+//sqlcm:hotpath
 func (e *Engine) runCond(fn condFn, ctx *Ctx) (bool, error) {
 	st := evalState{eng: e, ctx: ctx}
 	v, missing, err := fn(&st)
@@ -472,12 +482,30 @@ func truthy(v sqltypes.Value) bool {
 
 // ParseCondition parses a condition string (reusing the SQL expression
 // grammar: Class.Attr and LAT.Column references, arithmetic, comparisons,
-// AND/OR/NOT, brackets — exactly the operators of §5.2).
+// AND/OR/NOT, brackets — exactly the operators of §5.2). Parse failures
+// carry the byte offset and the offending token (as a wrapped
+// *sqlparser.ParseError), so rulecheck diagnostics can point at the exact
+// position in the condition source.
 func ParseCondition(src string) (sqlparser.Expr, error) {
 	if strings.TrimSpace(src) == "" {
 		return nil, nil
 	}
-	return sqlparser.ParseExpr(src)
+	e, err := sqlparser.ParseExpr(src)
+	if err != nil {
+		var pe *sqlparser.ParseError
+		if errors.As(err, &pe) {
+			tok := pe.Token
+			if tok == "" {
+				tok = "end of input"
+			} else {
+				tok = fmt.Sprintf("%q", tok)
+			}
+			return nil, fmt.Errorf("rules: condition syntax error at offset %d (token %s): %s: %w",
+				pe.Offset, tok, pe.Msg, pe)
+		}
+		return nil, fmt.Errorf("rules: bad condition: %w", err)
+	}
+	return e, nil
 }
 
 // String renders the rule in the paper's Event/Condition/Action form.

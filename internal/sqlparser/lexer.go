@@ -70,7 +70,7 @@ func lex(src string) ([]token, error) {
 		case c == '@':
 			l.pos++
 			if l.pos >= len(l.src) || !isIdentStart(rune(l.src[l.pos])) {
-				return nil, fmt.Errorf("sqlparser: bare '@' at offset %d", start)
+				return nil, &ParseError{Offset: start, Token: "@", Msg: "bare '@'", Src: l.src}
 			}
 			s := l.pos
 			for l.pos < len(l.src) && isIdentCont(rune(l.src[l.pos])) {
@@ -175,7 +175,7 @@ func (l *lexer) lexString() error {
 		b.WriteByte(c)
 		l.pos++
 	}
-	return fmt.Errorf("sqlparser: unterminated string at offset %d", start)
+	return &ParseError{Offset: start, Token: l.src[start:], Msg: "unterminated string", Src: l.src}
 }
 
 func (l *lexer) lexOp() error {
@@ -201,5 +201,5 @@ func (l *lexer) lexOp() error {
 		l.pos++
 		return nil
 	}
-	return fmt.Errorf("sqlparser: unexpected character %q at offset %d", c, start)
+	return &ParseError{Offset: start, Token: string(c), Msg: fmt.Sprintf("unexpected character %q", c), Src: l.src}
 }

@@ -75,9 +75,35 @@ func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
 func (p *parser) save() int     { return p.i }
 func (p *parser) restore(i int) { p.i = i }
 
+// ParseError is a structured parse failure: the byte offset and text of
+// the offending token, so diagnostics (rulecheck) can point at the exact
+// position in the source.
+type ParseError struct {
+	Offset int    // byte offset of the offending token in the input
+	Token  string // the offending token's text ("" at end of input)
+	Msg    string
+	Src    string // the full input, for context rendering
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	tok := e.Token
+	if tok == "" {
+		tok = "end of input"
+	} else {
+		tok = fmt.Sprintf("%q", tok)
+	}
+	return fmt.Sprintf("sqlparser: %s (at offset %d, token %s, in %q)", e.Msg, e.Offset, tok, truncate(e.Src, 80))
+}
+
 func (p *parser) errf(format string, args ...interface{}) error {
-	pos := p.peek().pos
-	return fmt.Errorf("sqlparser: %s (near offset %d in %q)", fmt.Sprintf(format, args...), pos, truncate(p.src, 80))
+	t := p.peek()
+	return &ParseError{
+		Offset: t.pos,
+		Token:  t.text,
+		Msg:    fmt.Sprintf(format, args...),
+		Src:    p.src,
+	}
 }
 
 func truncate(s string, n int) string {

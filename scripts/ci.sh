@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate: build, vet, the functional test tier, then the race tier.
+# CI gate: build, lint, the functional test tier, then the race tier.
 # The race tier re-runs every test under the race detector; the
 # concurrency tests in internal/lat, internal/rules, internal/monitor and
 # internal/event are written to surface latch-ordering and published-state
@@ -11,12 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
+
+# Lint tier: go vet, the in-repo analyzers (hot-path hygiene, rule-callback
+# recover discipline, rule-set static analysis), and pinned staticcheck
+# (offline-tolerant; see scripts/staticcheck.sh). All hard gates.
 go vet ./...
-if command -v staticcheck >/dev/null 2>&1; then
-    staticcheck ./...
-else
-    echo "staticcheck not installed; skipping"
-fi
+go run ./cmd/sqlcm-vet -code .
+go run ./cmd/sqlcm-vet -mode strict examples/rulesets
+./scripts/staticcheck.sh
 go test ./...
 go test -race ./...
 go test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/

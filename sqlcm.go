@@ -34,6 +34,7 @@ import (
 	"sqlcm/internal/engine"
 	"sqlcm/internal/lat"
 	"sqlcm/internal/outbox"
+	"sqlcm/internal/rulecheck"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/sqltypes"
 )
@@ -141,6 +142,28 @@ type (
 	OutboxConfig = outbox.Config
 )
 
+// Re-exported static rule analysis types (internal/rulecheck).
+type (
+	// RuleCheckMode selects how static rule analysis treats findings at
+	// rule-registration time.
+	RuleCheckMode = rulecheck.Mode
+	// RuleDiagnostic is one static-analysis finding.
+	RuleDiagnostic = rulecheck.Diagnostic
+)
+
+// Rule-check modes.
+const (
+	// RuleCheckWarn (the default) records findings; rules register
+	// regardless. Retrieve them with DB.RuleWarnings.
+	RuleCheckWarn = rulecheck.Warn
+	// RuleCheckStrict rejects rules with error-severity findings
+	// (kind-mismatched conditions, dead rules, bad LAT references,
+	// synchronous trigger cycles, duplicates).
+	RuleCheckStrict = rulecheck.Strict
+	// RuleCheckOff skips static analysis entirely.
+	RuleCheckOff = rulecheck.Off
+)
+
 // Config tunes a DB.
 type Config struct {
 	// PoolPages is the buffer-pool size in 8 KiB pages (default 2048).
@@ -159,6 +182,9 @@ type Config struct {
 	Persister Persister
 	// Failsafe tunes the fail-safe monitoring layer.
 	Failsafe FailsafeConfig
+	// RuleCheck selects the static-analysis mode for rule registration
+	// (default RuleCheckWarn).
+	RuleCheck RuleCheckMode
 }
 
 // DB is an embedded, monitored database instance.
@@ -182,6 +208,7 @@ func Open(cfg Config) (*DB, error) {
 		Runner:    cfg.Runner,
 		Persister: cfg.Persister,
 		Failsafe:  cfg.Failsafe,
+		RuleCheck: cfg.RuleCheck,
 	})
 	return &DB{eng: eng, mon: mon}, nil
 }
@@ -247,6 +274,19 @@ func (db *DB) NewRule(name, event, condition string, actions ...Action) (*Rule, 
 
 // RemoveRule drops a rule.
 func (db *DB) RemoveRule(name string) bool { return db.mon.RemoveRule(name) }
+
+// LoadRuleSet installs a declarative .rules file (LAT declarations and
+// rules) after analysing it as a whole: in RuleCheckStrict mode any
+// error-severity finding rejects the entire file.
+func (db *DB) LoadRuleSet(src string) error { return db.mon.LoadRuleSet(src) }
+
+// CheckRules re-runs static analysis over the live rule set and returns
+// every finding.
+func (db *DB) CheckRules() []RuleDiagnostic { return db.mon.CheckRules() }
+
+// RuleWarnings returns the static-analysis findings recorded when rules
+// were registered in RuleCheckWarn mode.
+func (db *DB) RuleWarnings() []RuleDiagnostic { return db.mon.RuleWarnings() }
 
 // SetTimer arms the named Timer object: count alarms separated by period
 // (count < 0 repeats forever, count == 0 disables).
