@@ -1,16 +1,19 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos fuzz bench ci
+.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench ci
 
 build:
 	$(GO) build ./...
 
 # Vet tier: go vet plus SQLCM's own analyzers — the hot-path and
-# recover-discipline source checks, and static analysis of the shipped
-# rule sets (which must be finding-free even in strict mode).
+# recover-discipline source checks, the lock-hierarchy checker over the
+# //sqlcm:lock annotations, and static analysis of the shipped rule sets
+# (which must be finding-free even in strict mode). docs/lock-order.md
+# must match the annotations.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sqlcm-vet -code .
+	$(GO) run ./cmd/sqlcm-vet -lockdoc .
 	$(GO) run ./cmd/sqlcm-vet -mode strict examples/rulesets
 
 # Lint tier: staticcheck at a pinned version (offline fallback runs the
@@ -32,6 +35,21 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/outbox/
+
+# Lockdep tier: run the chaos and concurrency suites with the runtime
+# lock-order assertions compiled in (sqlcmlockdep) under -race, plus the
+# tag-gated lockdep unit tests themselves. Any lock acquired against the
+# observed order panics with both stacks instead of deadlocking. Also
+# verifies docs/lock-order.md is current.
+lockdep:
+	$(GO) run ./cmd/sqlcm-vet -lockdoc .
+	$(GO) test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/
+	$(GO) test -tags sqlcmlockdep -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
+	$(GO) test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
+
+# Regenerate docs/lock-order.md from the //sqlcm:lock annotations.
+lockdoc:
+	$(GO) run ./cmd/sqlcm-vet -lockdoc -write .
 
 # Fuzz smoke: harden the {ref} substitution scanner.
 fuzz:

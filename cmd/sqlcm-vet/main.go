@@ -5,6 +5,7 @@
 //
 //	sqlcm-vet [-mode strict|warn] file.rules [dir ...]
 //	sqlcm-vet -code [dir ...]
+//	sqlcm-vet -lockdoc [-write] [dir]
 //
 // In rules mode each argument is a .rules file or a directory searched
 // recursively for .rules files. Every file is parsed and the whole set is
@@ -15,7 +16,14 @@
 //
 // In -code mode each argument is a directory tree whose Go packages are
 // run through SQLCM's custom source analyzers (hot-path hygiene and the
-// recover discipline for rule callbacks); see internal/analysis.
+// recover discipline for rule callbacks; see internal/analysis) and
+// through the lock-hierarchy checker (declared //sqlcm:lock order,
+// missing unlocks, sends and outbox enqueues under latches; see
+// internal/lockcheck/check).
+//
+// In -lockdoc mode the tree's //sqlcm:lock annotations are rendered as
+// docs/lock-order.md: with -write the file is regenerated, without it the
+// command fails if the checked-in document is stale.
 //
 // Exit status is 1 if any error-severity finding (or unreadable input)
 // was reported; -mode strict also fails on warnings.
@@ -31,6 +39,7 @@ import (
 	"strings"
 
 	"sqlcm/internal/analysis"
+	"sqlcm/internal/lockcheck/check"
 	"sqlcm/internal/rulecheck"
 )
 
@@ -43,9 +52,12 @@ func run(args []string, out, errw io.Writer) int {
 	fs.SetOutput(errw)
 	mode := fs.String("mode", "warn", "strict|warn: strict also fails on warnings")
 	code := fs.Bool("code", false, "analyze Go source trees instead of .rules files")
+	lockdoc := fs.Bool("lockdoc", false, "check docs/lock-order.md against the //sqlcm:lock annotations")
+	write := fs.Bool("write", false, "with -lockdoc: regenerate docs/lock-order.md instead of checking it")
 	fs.Usage = func() {
 		fmt.Fprintf(errw, "usage: sqlcm-vet [-mode strict|warn] file.rules [dir ...]\n")
 		fmt.Fprintf(errw, "       sqlcm-vet -code [dir ...]\n")
+		fmt.Fprintf(errw, "       sqlcm-vet -lockdoc [-write] [dir]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -57,7 +69,7 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	paths := fs.Args()
 	if len(paths) == 0 {
-		if *code {
+		if *code || *lockdoc {
 			paths = []string{"."}
 		} else {
 			fs.Usage()
@@ -66,9 +78,12 @@ func run(args []string, out, errw io.Writer) int {
 	}
 
 	var errs, warns int
-	if *code {
+	switch {
+	case *lockdoc:
+		errs = runLockDoc(paths, *write, out, errw)
+	case *code:
 		errs = runCode(paths, out, errw)
-	} else {
+	default:
 		errs, warns = runRules(paths, out, errw)
 	}
 
@@ -80,7 +95,8 @@ func run(args []string, out, errw io.Writer) int {
 
 // runCode analyzes Go source trees. Every finding from the source
 // analyzers is a hard error: the annotations are opt-in, so a finding
-// means annotated code regressed.
+// means annotated code regressed. The lock-hierarchy checker runs over
+// the same roots: the declared //sqlcm:lock order is part of the code.
 func runCode(roots []string, out, errw io.Writer) (errs int) {
 	for _, root := range roots {
 		diags, err := analysis.RunTree(root)
@@ -91,6 +107,56 @@ func runCode(roots []string, out, errw io.Writer) (errs int) {
 		}
 		for _, d := range diags {
 			fmt.Fprintln(out, d)
+			errs++
+		}
+		lockDiags, err := check.RunTree(root)
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+			errs++
+			continue
+		}
+		for _, d := range lockDiags {
+			fmt.Fprintln(out, d)
+			errs++
+		}
+	}
+	return errs
+}
+
+// runLockDoc regenerates (or staleness-checks) docs/lock-order.md under
+// the first root. One root is the expected usage; extra roots are checked
+// against their own docs/lock-order.md too.
+func runLockDoc(roots []string, write bool, out, errw io.Writer) (errs int) {
+	for _, root := range roots {
+		want, err := check.DocTree(root)
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+			errs++
+			continue
+		}
+		docPath := filepath.Join(root, "docs", "lock-order.md")
+		if write {
+			if err := os.MkdirAll(filepath.Dir(docPath), 0o755); err != nil {
+				fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+				errs++
+				continue
+			}
+			if err := os.WriteFile(docPath, []byte(want), 0o644); err != nil {
+				fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
+				errs++
+				continue
+			}
+			fmt.Fprintf(out, "wrote %s\n", docPath)
+			continue
+		}
+		got, err := os.ReadFile(docPath)
+		if err != nil {
+			fmt.Fprintf(errw, "sqlcm-vet: %v (generate it with sqlcm-vet -lockdoc -write)\n", err)
+			errs++
+			continue
+		}
+		if string(got) != want {
+			fmt.Fprintf(out, "%s is stale relative to the //sqlcm:lock annotations; regenerate with sqlcm-vet -lockdoc -write\n", docPath)
 			errs++
 		}
 	}

@@ -2,18 +2,24 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
+	"strings"
 )
 
 // HotPath flags calls that do not belong on the monitoring hot path. A
 // dispatch runs synchronously inside the engine's query thread for every
 // monitored event, so reading the clock or formatting strings there turns
-// into per-query overhead the embedder never asked for. Functions opt in
-// with //sqlcm:hotpath; a deliberate exception (e.g. a clock read gated
-// behind an optional latency budget) is suppressed line-by-line with
-// //sqlcm:allow <reason>.
+// into per-query overhead the embedder never asked for. Hot-path
+// functions also must not acquire locks that lack a //sqlcm:lock class
+// annotation: unclassed locks are invisible to the lockdep machinery
+// (static order checking in internal/lockcheck/check and the
+// sqlcmlockdep runtime build), so a latch the hot path takes must be part
+// of the declared hierarchy. Functions opt in with //sqlcm:hotpath; a
+// deliberate exception (e.g. a clock read gated behind an optional
+// latency budget) is suppressed line-by-line with //sqlcm:allow <reason>.
 var HotPath = &Analyzer{
 	Name: "hotpath",
-	Doc:  "forbid clock reads and fmt allocation in //sqlcm:hotpath functions",
+	Doc:  "forbid clock reads, fmt allocation and un-annotated locks in //sqlcm:hotpath functions",
 	Run:  runHotPath,
 }
 
@@ -38,7 +44,14 @@ var bannedCalls = map[string]map[string]string{
 	},
 }
 
+// lockAcquireOps are the methods that take a latch when called through a
+// selector.
+var lockAcquireOps = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
 func runHotPath(p *Pass) {
+	annotated := annotatedLockFields(p.Files)
 	for _, file := range p.Files {
 		allowed := allowedLines(p.Fset, file)
 		for _, decl := range file.Decls {
@@ -55,15 +68,23 @@ func runHotPath(p *Pass) {
 				if !ok {
 					return true
 				}
+				if allowed[p.Fset.Position(call.Pos()).Line] {
+					return true
+				}
+				if lockAcquireOps[sel.Sel.Name] {
+					if name, ok := lockFieldName(sel.X); ok && !annotated[name] {
+						p.Reportf(call.Pos(),
+							"acquiring un-annotated lock %s in hot-path function %s: unclassed locks are invisible to lockdep (annotate the field with //sqlcm:lock)",
+							name, fn.Name.Name)
+					}
+					return true
+				}
 				pkg, ok := sel.X.(*ast.Ident)
 				if !ok || pkg.Obj != nil { // Obj != nil: local variable, not a package
 					return true
 				}
 				reason, banned := bannedCalls[pkg.Name][sel.Sel.Name]
 				if !banned {
-					return true
-				}
-				if allowed[p.Fset.Position(call.Pos()).Line] {
 					return true
 				}
 				p.Reportf(call.Pos(),
@@ -73,4 +94,71 @@ func runHotPath(p *Pass) {
 			})
 		}
 	}
+}
+
+// lockFieldName extracts the field (or local variable) name a lock call
+// is made on: the final selector segment, or the bare identifier.
+func lockFieldName(recv ast.Expr) (string, bool) {
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name, true
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.ParenExpr:
+		return lockFieldName(x.X)
+	case *ast.StarExpr:
+		return lockFieldName(x.X)
+	}
+	return "", false
+}
+
+// annotatedLockFields collects, by name, the mutex struct fields of this
+// package that carry a //sqlcm:lock annotation. The check is name based
+// (this driver has no type information), which is exactly the right
+// granularity for the hot path: a field name that is annotated anywhere
+// in the package names a classified lock.
+func annotatedLockFields(files []*ast.File) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if !fieldHasLockAnnotation(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						out[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func fieldHasLockAnnotation(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == "//sqlcm:lock" || strings.HasPrefix(text, "//sqlcm:lock ") {
+				return true
+			}
+		}
+	}
+	return false
 }

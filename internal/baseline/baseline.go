@@ -71,6 +71,8 @@ type Puller struct {
 	eng      *engine.Engine
 	interval time.Duration
 
+	// mu protects the observation map.
+	//sqlcm:lock baseline.puller
 	mu       sync.Mutex
 	observed map[string]time.Duration
 	polls    int64
@@ -167,6 +169,8 @@ type HistoryRecorder struct {
 	engine.NopHooks
 	eng *engine.Engine
 
+	// mu protects the history buffer.
+	//sqlcm:lock baseline.history
 	mu      sync.Mutex
 	history []historyEntry
 	charged int64

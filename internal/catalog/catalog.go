@@ -81,6 +81,8 @@ type Stats struct {
 
 // Catalog is the thread-safe metadata registry.
 type Catalog struct {
+	// mu protects the table, procedure and stats maps.
+	//sqlcm:lock catalog.registry
 	mu     sync.RWMutex
 	tables map[string]*Table
 	procs  map[string]*Procedure

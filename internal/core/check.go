@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/monitor"
 	"sqlcm/internal/rulecheck"
 	"sqlcm/internal/rules"
@@ -22,7 +22,9 @@ import (
 type ruleChecker struct {
 	mode rulecheck.Mode
 
-	mu sync.Mutex
+	// mu protects the per-rule source and diagnostic maps.
+	//sqlcm:lock core.rulecheck
+	mu lockcheck.Mutex
 	// condSrc remembers each rule's original condition text so
 	// diagnostics can carry source offsets.
 	condSrc map[string]string

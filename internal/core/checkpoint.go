@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/sqltypes"
 )
 
@@ -26,7 +26,9 @@ type checkpointer struct {
 	s        *SQLCM
 	interval time.Duration
 
-	mu      sync.Mutex
+	// mu protects the mark and generation maps.
+	//sqlcm:lock core.checkpoint
+	mu      lockcheck.Mutex
 	marks   map[string]string // LAT name → disk table
 	lastGen map[string]int64  // LAT name → last committed generation
 
@@ -39,7 +41,7 @@ type checkpointer struct {
 }
 
 func newCheckpointer(s *SQLCM, interval time.Duration) *checkpointer {
-	return &checkpointer{
+	c := &checkpointer{
 		s:        s,
 		interval: interval,
 		marks:    make(map[string]string),
@@ -47,6 +49,8 @@ func newCheckpointer(s *SQLCM, interval time.Duration) *checkpointer {
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	c.mu.SetClass("core.checkpoint")
+	return c
 }
 
 // mark registers a LAT for checkpointing into table and immediately

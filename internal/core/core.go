@@ -17,6 +17,7 @@ import (
 	"sqlcm/internal/engine"
 	"sqlcm/internal/event"
 	"sqlcm/internal/lat"
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/monitor"
 	"sqlcm/internal/outbox"
 	"sqlcm/internal/rulecheck"
@@ -38,6 +39,8 @@ type Runner interface {
 
 // MemMailer is an in-memory Mailer that records sent mail.
 type MemMailer struct {
+	// mu protects the sent log.
+	//sqlcm:lock core.mailer
 	mu   sync.Mutex
 	sent []Mail
 }
@@ -66,6 +69,8 @@ func (m *MemMailer) Sent() []Mail {
 
 // MemRunner is an in-memory Runner that records command lines.
 type MemRunner struct {
+	// mu protects the command log.
+	//sqlcm:lock core.runner
 	mu   sync.Mutex
 	cmds []string
 }
@@ -146,7 +151,9 @@ type SQLCM struct {
 	box       *outbox.Outbox
 	ckpt      *checkpointer
 
-	latMu sync.RWMutex
+	// latMu protects the LAT registry.
+	//sqlcm:lock core.lats
+	latMu lockcheck.RWMutex
 	lats  map[string]*lat.Table
 
 	check ruleChecker
@@ -166,6 +173,8 @@ func Attach(eng *engine.Engine, opts Options) *SQLCM {
 		mailer: opts.Mailer,
 		runner: opts.Runner,
 	}
+	s.latMu.SetClass("core.lats")
+	s.check.mu.SetClass("core.rulecheck")
 	if s.mailer == nil {
 		s.mailer = &MemMailer{}
 	}

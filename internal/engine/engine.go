@@ -7,7 +7,6 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +14,7 @@ import (
 	"sqlcm/internal/exec"
 	"sqlcm/internal/index"
 	"sqlcm/internal/lock"
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/plan"
 	"sqlcm/internal/sqlparser"
 	"sqlcm/internal/sqltypes"
@@ -57,13 +57,19 @@ type Engine struct {
 	locks *lock.Manager
 	tm    *txn.Manager
 
-	hooksMu sync.RWMutex
+	// hooksMu protects the installed hook set.
+	//sqlcm:lock engine.hooks
+	hooksMu lockcheck.RWMutex
 	hooks   Hooks
 
-	planMu    sync.Mutex
+	// planMu protects the plan cache.
+	//sqlcm:lock engine.plan
+	planMu    lockcheck.Mutex
 	planCache map[string]*cachedPlan
 
-	queryMu sync.RWMutex
+	// queryMu protects the active-query and transaction-info maps.
+	//sqlcm:lock engine.query
+	queryMu lockcheck.RWMutex
 	// active queries by query id and the current query of each transaction
 	active  map[int64]*QueryInfo
 	byTxn   map[lock.TxnID]*QueryInfo
@@ -113,6 +119,9 @@ func Open(cfg Config) (*Engine, error) {
 		byTxn:     make(map[lock.TxnID]*QueryInfo),
 		txnInfo:   make(map[lock.TxnID]*TxnInfo),
 	}
+	e.hooksMu.SetClass("engine.hooks")
+	e.planMu.SetClass("engine.plan")
+	e.queryMu.SetClass("engine.query")
 	locks.SetNotifier(&lockBridge{e: e})
 	return e, nil
 }

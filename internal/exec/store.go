@@ -42,9 +42,19 @@ func (ts *TableStore) IndexKey(ix *catalog.Index, row Row) []byte {
 }
 
 // AddIndex registers a new B+tree for ix and populates it from the heap.
+// The scan callback runs under the page read-latch, so it only collects
+// (key, rid) pairs; the btree inserts happen after the scan returns.
+// Inserting inside the callback would nest index.btree under storage.page,
+// and the index mutex must stay a root class of the lock hierarchy (see
+// docs/lock-order.md).
 func (ts *TableStore) AddIndex(ix *catalog.Index) error {
 	bt := index.New(ix.Unique)
 	ncols := len(ts.Meta.Columns)
+	type entry struct {
+		key []byte
+		rid storage.RID
+	}
+	var entries []entry
 	var buildErr error
 	err := ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
 		row, err := DecodeRow(rec, ncols)
@@ -52,10 +62,7 @@ func (ts *TableStore) AddIndex(ix *catalog.Index) error {
 			buildErr = err
 			return false
 		}
-		if err := bt.Insert(ts.IndexKey(ix, row), rid); err != nil {
-			buildErr = fmt.Errorf("exec: building index %s: %w", ix.Name, err)
-			return false
-		}
+		entries = append(entries, entry{key: ts.IndexKey(ix, row), rid: rid})
 		return true
 	})
 	if err != nil {
@@ -63,6 +70,11 @@ func (ts *TableStore) AddIndex(ix *catalog.Index) error {
 	}
 	if buildErr != nil {
 		return buildErr
+	}
+	for _, e := range entries {
+		if err := bt.Insert(e.key, e.rid); err != nil {
+			return fmt.Errorf("exec: building index %s: %w", ix.Name, err)
+		}
 	}
 	ts.Indexes[ix.Name] = bt
 	return nil
@@ -75,6 +87,8 @@ type StoreProvider interface {
 
 // Registry is a thread-safe StoreProvider backed by a map.
 type Registry struct {
+	// mu protects the store map.
+	//sqlcm:lock exec.registry
 	mu     sync.RWMutex
 	stores map[string]*TableStore
 }

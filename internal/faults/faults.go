@@ -75,6 +75,8 @@ type Persister interface {
 type FlakyPersister struct {
 	Inner Persister
 
+	// mu protects the failure-mode counters.
+	//sqlcm:lock faults.persister
 	mu        sync.Mutex
 	remaining int
 	passLeft  int // with passSet, calls allowed before hard failure
@@ -142,6 +144,8 @@ func (p *FlakyPersister) Persist(table string, cols []string, kinds []sqltypes.K
 
 // FlakyMailer refuses delivery while broken, recording what got through.
 type FlakyMailer struct {
+	// mu protects the sent log.
+	//sqlcm:lock faults.mailer
 	mu     sync.Mutex
 	sent   []string
 	broken atomic.Bool
@@ -174,6 +178,8 @@ func (m *FlakyMailer) Sent() []string {
 // HungRunner blocks every Run call until Release (models a hung external
 // process; the outbox's per-attempt deadline must cut it loose).
 type HungRunner struct {
+	// mu protects the hang channel and command log.
+	//sqlcm:lock faults.runner
 	mu       sync.Mutex
 	hang     chan struct{} // non-nil: Run blocks on it
 	cmds     []string

@@ -28,6 +28,8 @@ const (
 
 // BTree is an ordered index from encoded keys to RIDs.
 type BTree struct {
+	// mu protects the whole tree (coarse-grained; fine for index sizes here).
+	//sqlcm:lock index.btree
 	mu     sync.RWMutex
 	root   *node
 	unique bool

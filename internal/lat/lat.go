@@ -17,10 +17,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/sqltypes"
 )
 
@@ -212,7 +212,9 @@ const maxFreePerShard = 4
 // "evicted leafs can be re-used for the newly inserted value, keeping
 // memory fragmentation low").
 type latShard struct {
-	mu     sync.RWMutex
+	// mu protects the stripe's group map and free list.
+	//sqlcm:lock lat.shard after lat.order
+	mu     lockcheck.RWMutex
 	groups map[string]*row
 	free   []*row
 	_      [24]byte // pad shards onto distinct cache lines
@@ -239,7 +241,9 @@ type Table struct {
 	// bounded is true when the spec has MaxRows or MaxBytes: only then do
 	// inserts maintain the eviction heap under orderMu.
 	bounded bool
-	orderMu sync.Mutex // ordering latch: eviction heap + row heapIdx
+	// orderMu is the ordering latch: eviction heap + row heapIdx.
+	//sqlcm:lock lat.order
+	orderMu lockcheck.Mutex
 	order   rowHeap
 
 	mem     atomic.Int64
@@ -259,7 +263,9 @@ type Table struct {
 // read orderKey, an atomically published snapshot of the row's
 // ordering-column values, so they never need the row latch.
 type row struct {
-	mu       sync.Mutex // row latch: aggregate state, mem, live, key
+	// mu is the row latch: aggregate state, mem, live, key.
+	//sqlcm:lock lat.row after lat.shard
+	mu       lockcheck.Mutex
 	key      string
 	groupVal []sqltypes.Value
 	aggs     []aggState
@@ -295,7 +301,9 @@ func New(spec Spec) (*Table, error) {
 		clock:   time.Now,
 		bounded: spec.MaxRows > 0 || spec.MaxBytes > 0,
 	}
+	t.orderMu.SetClass("lat.order")
 	for i := range t.shards {
+		t.shards[i].mu.SetClass("lat.shard")
 		t.shards[i].groups = make(map[string]*row)
 	}
 	return t, nil
@@ -388,6 +396,7 @@ func (t *Table) insert(get AttrGetter) error {
 				r.mu.Unlock()
 			} else {
 				r = &row{key: key, groupVal: groupVals, heapIdx: -1, live: true}
+				r.mu.SetClass("lat.row")
 				r.aggs = make([]aggState, len(t.spec.Aggs))
 				for i := range r.aggs {
 					r.aggs[i].init(&t.spec, &t.spec.Aggs[i])
@@ -497,6 +506,8 @@ outer:
 // eviction callbacks must be delivered after releasing it. Victim shard
 // and row latches nest inside the ordering latch (orderMu → shard.mu →
 // row.mu).
+//
+//sqlcm:lock-held lat.order
 func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
 	if !t.bounded {
 		return nil
@@ -568,6 +579,8 @@ func (t *Table) rowValues(r *row, now time.Time) []sqltypes.Value {
 }
 
 // rowValuesRowLocked is rowValues with the row latch already held.
+//
+//sqlcm:lock-held lat.row
 func (t *Table) rowValuesRowLocked(r *row, now time.Time) []sqltypes.Value {
 	out := make([]sqltypes.Value, 0, len(r.groupVal)+len(r.aggs))
 	out = append(out, r.groupVal...)

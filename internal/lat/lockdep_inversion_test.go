@@ -1,0 +1,77 @@
+//go:build sqlcmlockdep
+
+package lat
+
+import (
+	"strings"
+	"testing"
+
+	"sqlcm/internal/lockcheck"
+	"sqlcm/internal/sqltypes"
+)
+
+// TestRuntimeLockdepCatchesOrderShardInversion proves the runtime lockdep
+// build would have caught the pre-sharding deadlock class this package was
+// redesigned around: taking a shard latch and then the ordering latch,
+// against the declared (and runtime-observed) order lat.order -> lat.shard.
+//
+// The test first runs a real bounded insert so the lockdep edge graph
+// observes orderMu -> shard.mu from production code, then deliberately
+// inverts the acquisition and asserts the panic names both classes and
+// carries both acquisition stacks.
+func TestRuntimeLockdepCatchesOrderShardInversion(t *testing.T) {
+	lockcheck.ResetForTest()
+	defer lockcheck.ResetForTest()
+
+	spec := Spec{
+		Name:    "Inversion_LAT",
+		GroupBy: []string{"Logical_Signature"},
+		Aggs: []AggCol{
+			{Func: Count, Name: "N"},
+		},
+		OrderBy: []OrderKey{{Col: "N", Desc: true}},
+		MaxRows: 8,
+	}
+	tbl, err := New(spec)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// A bounded group creation takes orderMu then the group's shard latch,
+	// seeding the lat.order -> lat.shard edge in the observed graph.
+	get := func(attr string) (sqltypes.Value, bool) {
+		if attr == "Logical_Signature" {
+			return sqltypes.NewString("q1"), true
+		}
+		return sqltypes.Null, false
+	}
+	if err := tbl.Insert(get); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+
+	// Invert: shard latch first, then the ordering latch.
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		sh := &tbl.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		tbl.orderMu.Lock() // must panic before blocking
+		tbl.orderMu.Unlock()
+	}()
+	if msg == "" {
+		t.Fatal("inverted acquisition did not panic under the sqlcmlockdep build")
+	}
+	for _, want := range []string{"lock order inversion", `"lat.order"`, `"lat.shard"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+	if got := strings.Count(msg, "goroutine "); got < 2 {
+		t.Errorf("panic message should carry at least two goroutine stacks, found %d:\n%s", got, msg)
+	}
+}

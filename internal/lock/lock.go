@@ -10,9 +10,9 @@ package lock
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/storage"
 )
 
@@ -116,7 +116,9 @@ type queue struct {
 
 // Manager is the lock manager.
 type Manager struct {
-	mu       sync.Mutex
+	// mu protects the queues, held and waitsFor maps.
+	//sqlcm:lock lock.manager
+	mu       lockcheck.Mutex
 	queues   map[Resource]*queue
 	held     map[TxnID]map[Resource]Mode // reverse map for release
 	waitsFor map[TxnID]map[TxnID]bool    // wait-for graph edges
@@ -127,12 +129,14 @@ type Manager struct {
 // NewManager returns a lock manager. timeout bounds each wait; zero waits
 // forever.
 func NewManager(timeout time.Duration) *Manager {
-	return &Manager{
+	m := &Manager{
 		queues:   make(map[Resource]*queue),
 		held:     make(map[TxnID]map[Resource]Mode),
 		waitsFor: make(map[TxnID]map[TxnID]bool),
 		timeout:  timeout,
 	}
+	m.mu.SetClass("lock.manager")
+	return m
 }
 
 // SetNotifier installs the blocking-event notifier (nil disables).
@@ -186,6 +190,8 @@ func (m *Manager) Acquire(txn TxnID, res Resource, mode Mode) error {
 // canGrantLocked reports whether txn can take res in mode immediately:
 // compatible with all granted locks and no earlier waiter would be starved
 // (strict FIFO except compatible-with-everything fast path).
+//
+//sqlcm:lock-held lock.manager
 func (m *Manager) canGrantLocked(q *queue, txn TxnID, mode Mode) bool {
 	if len(q.waiting) > 0 {
 		return false // FIFO fairness: queue behind existing waiters
@@ -202,6 +208,8 @@ func (m *Manager) canGrantLocked(q *queue, txn TxnID, mode Mode) bool {
 }
 
 // canUpgradeLocked reports whether txn (holding S) can upgrade to X now.
+//
+//sqlcm:lock-held lock.manager
 func (m *Manager) canUpgradeLocked(q *queue, txn TxnID) bool {
 	for holder := range q.granted {
 		if holder != txn {
@@ -211,6 +219,7 @@ func (m *Manager) canUpgradeLocked(q *queue, txn TxnID) bool {
 	return true
 }
 
+//sqlcm:lock-held lock.manager
 func (m *Manager) grantLocked(q *queue, txn TxnID, res Resource, mode Mode) {
 	q.granted[txn] = mode
 	hm := m.held[txn]
@@ -223,6 +232,9 @@ func (m *Manager) grantLocked(q *queue, txn TxnID, res Resource, mode Mode) {
 
 // waitLocked is entered with m.mu held and the request already queued; it
 // releases the mutex, blocks, and returns the outcome.
+//
+//sqlcm:lock-held lock.manager
+//sqlcm:lock-release lock.manager
 func (m *Manager) waitLocked(txn TxnID, res Resource, q *queue, req *request) error {
 	// Record wait-for edges and run deadlock detection before sleeping.
 	holders := make([]TxnID, 0, len(q.granted))
@@ -361,6 +373,8 @@ func (m *Manager) ReleaseAll(txn TxnID) {
 
 // promoteLocked grants as many queued requests as compatibility allows, in
 // FIFO order (upgrades were queued at the front).
+//
+//sqlcm:lock-held lock.manager
 func (m *Manager) promoteLocked(res Resource, q *queue) {
 	for len(q.waiting) > 0 {
 		req := q.waiting[0]
@@ -385,10 +399,12 @@ func (m *Manager) promoteLocked(res Resource, q *queue) {
 		}
 		q.waiting = q.waiting[1:]
 		m.clearEdgesLocked(req.txn)
+		//sqlcm:allow grant is buffered (capacity 1, one waiter); the send cannot block
 		req.grant <- nil
 	}
 }
 
+//sqlcm:lock-held lock.manager
 func (m *Manager) removeRequestLocked(q *queue, req *request) {
 	for i, r := range q.waiting {
 		if r == req {
@@ -400,6 +416,7 @@ func (m *Manager) removeRequestLocked(q *queue, req *request) {
 
 // --- wait-for graph ---
 
+//sqlcm:lock-held lock.manager
 func (m *Manager) addEdgeLocked(from, to TxnID) {
 	s := m.waitsFor[from]
 	if s == nil {
@@ -409,12 +426,15 @@ func (m *Manager) addEdgeLocked(from, to TxnID) {
 	s[to] = true
 }
 
+//sqlcm:lock-held lock.manager
 func (m *Manager) clearEdgesLocked(txn TxnID) {
 	delete(m.waitsFor, txn)
 }
 
 // cycleFromLocked reports whether start can reach itself in the wait-for
 // graph.
+//
+//sqlcm:lock-held lock.manager
 func (m *Manager) cycleFromLocked(start TxnID) bool {
 	seen := map[TxnID]bool{}
 	var dfs func(t TxnID) bool

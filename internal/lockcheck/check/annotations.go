@@ -1,0 +1,307 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Class is one declared lock class.
+type Class struct {
+	Name string
+	// After lists classes that may legally be held when acquiring this
+	// one ("<class> after <after>..." in the annotation). Union across
+	// fields when several fields share a class (e.g. two disk managers
+	// both declaring storage.disk).
+	After map[string]bool
+	// Decl is the first field declaration carrying the annotation.
+	Decl token.Position
+	// Fields lists "pkg.Type.field" names annotated with this class.
+	Fields []string
+}
+
+// Hierarchy is the declared lock-order DAG plus the field→class map used
+// to resolve lock sites.
+type Hierarchy struct {
+	Classes map[string]*Class
+	// fieldClass maps "pkg.TypeName.fieldName" → class. Keys are package
+	// qualified: several packages reuse type names (txn.Manager and
+	// lock.Manager both have a mu field).
+	fieldClass map[string]string
+	// byField maps a bare field name → set of classes, for resolving
+	// cross-package lock sites when the field name is globally unique.
+	byField map[string]map[string]bool
+	// reach caches DAG reachability ("from" may be held when acquiring
+	// "to", transitively).
+	reach map[[2]string]bool
+}
+
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{
+		Classes:    map[string]*Class{},
+		fieldClass: map[string]string{},
+		byField:    map[string]map[string]bool{},
+		reach:      map[[2]string]bool{},
+	}
+}
+
+// ClassOf resolves a lock site to its class: pkg is the package being
+// analyzed, typeName the (possibly package-qualified) inferred receiver
+// type. When the type is unknown, a globally unique bare field name still
+// resolves.
+func (h *Hierarchy) ClassOf(pkg, typeName, fieldName string) string {
+	if typeName != "" {
+		key := typeName + "." + fieldName
+		if !strings.Contains(typeName, ".") {
+			key = pkg + "." + key
+		}
+		if c, ok := h.fieldClass[key]; ok {
+			return c
+		}
+	}
+	if set := h.byField[fieldName]; len(set) == 1 {
+		for c := range set {
+			return c
+		}
+	}
+	return ""
+}
+
+// Reachable reports whether the declared order permits acquiring "to"
+// while "from" is held: a transitive chain of "after" edges from "from"
+// to "to".
+func (h *Hierarchy) Reachable(from, to string) bool {
+	if from == to {
+		return false
+	}
+	key := [2]string{from, to}
+	if ok, cached := h.reach[key]; cached {
+		return ok
+	}
+	seen := map[string]bool{from: true}
+	queue := []string{from}
+	found := false
+	for len(queue) > 0 && !found {
+		cur := queue[0]
+		queue = queue[1:]
+		for name, c := range h.Classes {
+			if seen[name] || !c.After[cur] {
+				continue
+			}
+			if name == to {
+				found = true
+				break
+			}
+			seen[name] = true
+			queue = append(queue, name)
+		}
+	}
+	h.reach[key] = found
+	return found
+}
+
+// Validate reports unknown classes in "after" clauses and cycles in the
+// declared DAG.
+func (h *Hierarchy) Validate(report func(Diagnostic)) {
+	names := make([]string, 0, len(h.Classes))
+	for n := range h.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := h.Classes[n]
+		for _, a := range sortedKeys(c.After) {
+			if _, ok := h.Classes[a]; !ok {
+				report(Diagnostic{Pos: c.Decl, Analyzer: "lockclass",
+					Message: fmt.Sprintf("lock class %q is declared after unknown class %q", n, a)})
+			}
+		}
+	}
+	// Cycle detection over the after edges (a -> c for each a in c.After).
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var path []string
+	var visit func(n string) []string
+	visit = func(n string) []string {
+		color[n] = grey
+		path = append(path, n)
+		for _, succ := range names {
+			if !h.Classes[succ].After[n] {
+				continue
+			}
+			switch color[succ] {
+			case grey:
+				// Found a back edge: slice out the cycle.
+				for i, p := range path {
+					if p == succ {
+						return append(append([]string(nil), path[i:]...), succ)
+					}
+				}
+				return []string{succ, n, succ}
+			case white:
+				if cyc := visit(succ); cyc != nil {
+					return cyc
+				}
+			}
+		}
+		color[n] = black
+		path = path[:len(path)-1]
+		return nil
+	}
+	for _, n := range names {
+		if color[n] != white {
+			continue
+		}
+		path = path[:0]
+		if cyc := visit(n); cyc != nil {
+			report(Diagnostic{Pos: h.Classes[cyc[0]].Decl, Analyzer: "lockclass",
+				Message: fmt.Sprintf("declared lock order contains a cycle: %s", strings.Join(cyc, " -> "))})
+			return
+		}
+	}
+}
+
+// collectAnnotations scans the struct types of one package for mutex
+// fields, parses their //sqlcm:lock annotations into h, and reports
+// mutex fields that lack one.
+func collectAnnotations(fset *token.FileSet, files []*ast.File, h *Hierarchy, report func(Diagnostic)) {
+	for _, file := range files {
+		pkg := file.Name.Name
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					collectField(fset, pkg, ts.Name.Name, field, h, report)
+				}
+			}
+		}
+	}
+}
+
+// collectField handles one struct field: if it is a mutex it must carry a
+// //sqlcm:lock annotation, which is registered in the hierarchy.
+func collectField(fset *token.FileSet, pkg, typeName string, field *ast.Field, h *Hierarchy, report func(Diagnostic)) {
+	if !isMutexType(field.Type) {
+		return
+	}
+	// Embedded mutexes (no field name) are the lockcheck wrappers
+	// themselves; they are not independent locks.
+	if len(field.Names) == 0 {
+		return
+	}
+	pos := fset.Position(field.Pos())
+	class, after, found, bad := lockDirective(field)
+	if bad != "" {
+		report(Diagnostic{Pos: pos, Analyzer: "lockclass",
+			Message: fmt.Sprintf("malformed //sqlcm:lock annotation: %s", bad)})
+		return
+	}
+	if !found {
+		for _, name := range field.Names {
+			report(Diagnostic{Pos: pos, Analyzer: "lockclass",
+				Message: fmt.Sprintf("mutex field %s.%s.%s has no //sqlcm:lock annotation", pkg, typeName, name.Name)})
+		}
+		return
+	}
+	c := h.Classes[class]
+	if c == nil {
+		c = &Class{Name: class, After: map[string]bool{}, Decl: pos}
+		h.Classes[class] = c
+	}
+	for _, a := range after {
+		c.After[a] = true
+	}
+	for _, name := range field.Names {
+		c.Fields = append(c.Fields, fmt.Sprintf("%s.%s.%s", pkg, typeName, name.Name))
+		h.fieldClass[pkg+"."+typeName+"."+name.Name] = class
+		set := h.byField[name.Name]
+		if set == nil {
+			set = map[string]bool{}
+			h.byField[name.Name] = set
+		}
+		set[class] = true
+	}
+}
+
+// lockDirective parses the //sqlcm:lock line from a field's doc or line
+// comment. Grammar: //sqlcm:lock <class> [after <class>...].
+func lockDirective(field *ast.Field) (class string, after []string, found bool, bad string) {
+	var lines []string
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//sqlcm:lock ") || text == "//sqlcm:lock" {
+				lines = append(lines, text)
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return "", nil, false, ""
+	}
+	if len(lines) > 1 {
+		return "", nil, true, "more than one //sqlcm:lock line on a single field"
+	}
+	fields := strings.Fields(strings.TrimPrefix(lines[0], "//sqlcm:lock"))
+	if len(fields) == 0 {
+		return "", nil, true, "missing class name"
+	}
+	class = fields[0]
+	rest := fields[1:]
+	if len(rest) == 0 {
+		return class, nil, true, ""
+	}
+	if rest[0] != "after" || len(rest) == 1 {
+		return "", nil, true, fmt.Sprintf("expected %q followed by class names, got %q", "after", strings.Join(rest, " "))
+	}
+	return class, rest[1:], true, ""
+}
+
+// isMutexType reports whether a field type is one of the lockable mutex
+// types: sync.Mutex, sync.RWMutex, lockcheck.Mutex, lockcheck.RWMutex
+// (possibly behind a pointer).
+func isMutexType(e ast.Expr) bool {
+	if star, ok := e.(*ast.StarExpr); ok {
+		e = star.X
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if x.Name != "sync" && x.Name != "lockcheck" {
+		return false
+	}
+	return sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex"
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,242 @@
+// Package check is the static half of SQLCM's lock-hierarchy contract
+// (the runtime half is the sqlcmlockdep build of internal/lockcheck).
+//
+// It parses the //sqlcm:lock annotations on mutex fields into a declared
+// partial-order DAG, then walks every function body tracking the set of
+// held lock classes — with one level of interprocedural summary
+// propagation for same-package calls — and reports:
+//
+//   - acquisitions that violate the declared order (no declared path from
+//     every held class to the acquired class), analyzer "lockorder";
+//   - same-class nested acquisition, analyzer "lockorder";
+//   - a Lock without a dominating Unlock or defer on some exit path,
+//     analyzer "lockunlock";
+//   - a channel send or outbox enqueue while holding any lock (sends in
+//     a select with a default clause are exempt: they cannot block),
+//     analyzer "locksend";
+//   - mutex fields with no //sqlcm:lock annotation, unknown or cyclic
+//     class declarations, and lock sites whose class cannot be resolved,
+//     analyzer "lockclass".
+//
+// Function-level directives refine the walk:
+//
+//	//sqlcm:lock-held <class>     — callers hold <class> on entry
+//	//sqlcm:lock-release <class>  — the function releases the caller's
+//	                                <class> before returning (lock handoff)
+//	//sqlcm:allow <reason>        — suppress findings on this line and the
+//	                                next (same grammar as internal/analysis)
+//
+// The pass is flow-approximate, not flow-precise: branches are walked on
+// cloned held-sets (a branch ending in return or panic is checked at its
+// exit and discarded), loops are walked once, and function literals are
+// analyzed inline under the held-set at their syntactic position. Like
+// internal/analysis it is annotation driven and stdlib-only.
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding from the lock checker.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// RunFiles analyzes the given Go files as one package, using only the
+// annotations declared in those files.
+func RunFiles(paths []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, paths)
+	if err != nil {
+		return nil, err
+	}
+	h := NewHierarchy()
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	collectAnnotations(fset, files, h, report)
+	h.Validate(report)
+	checkPackage(fset, files, h, report)
+	sortDiags(diags)
+	return diags, nil
+}
+
+// RunTree walks root recursively: a first pass collects every //sqlcm:lock
+// annotation into one global hierarchy, a second pass checks each package
+// against it. testdata, vendor and hidden directories are skipped, as are
+// _test.go files and files build-tagged sqlcmlockdep (the runtime shim).
+func RunTree(root string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parseTree(fset, root)
+	if err != nil {
+		return nil, err
+	}
+	h := NewHierarchy()
+	var diags []Diagnostic
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, files := range pkgs {
+		collectAnnotations(fset, files, h, report)
+	}
+	h.Validate(report)
+	for _, files := range pkgs {
+		checkPackage(fset, files, h, report)
+	}
+	sortDiags(diags)
+	return diags, nil
+}
+
+// parseTree returns the non-test Go files of every package directory under
+// root, keyed by directory, in deterministic order.
+func parseTree(fset *token.FileSet, root string) (map[string][]*ast.File, error) {
+	pkgs := make(map[string][]*ast.File)
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
+			return filepath.SkipDir
+		}
+		paths, err := dirGoFiles(path)
+		if err != nil {
+			return err
+		}
+		if len(paths) == 0 {
+			return nil
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			return err
+		}
+		if len(files) > 0 {
+			pkgs[path] = files
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+func dirGoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// parseFiles parses paths, dropping files whose build constraint selects
+// the sqlcmlockdep runtime shim (they replace, not extend, the default
+// build and would double-declare its symbols).
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if isLockdepTagged(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// isLockdepTagged reports whether the file carries a //go:build constraint
+// requiring the sqlcmlockdep tag.
+func isLockdepTagged(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if strings.HasPrefix(text, "//go:build") &&
+				strings.Contains(text, "sqlcmlockdep") &&
+				!strings.Contains(text, "!sqlcmlockdep") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// allowedLines returns the lines covered by //sqlcm:allow comments: the
+// comment's own line and the one below it.
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "sqlcm:allow") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// funcDirective returns the arguments of every //sqlcm:<name> directive
+// line in the function's doc comment.
+func funcDirective(fn *ast.FuncDecl, name string) []string {
+	if fn.Doc == nil {
+		return nil
+	}
+	var args []string
+	prefix := "//sqlcm:" + name
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == prefix {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(text, prefix+" "); ok {
+			args = append(args, strings.Fields(rest)...)
+		}
+	}
+	return args
+}

@@ -1,0 +1,275 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSrc analyzes one in-memory file as a package.
+func runSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fixture.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatalf("write fixture: %v", err)
+	}
+	diags, err := RunFiles([]string{path})
+	if err != nil {
+		t.Fatalf("RunFiles: %v", err)
+	}
+	return diags
+}
+
+func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
+	t.Helper()
+	if len(diags) != len(substrs) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(diags), len(substrs), diags)
+	}
+	for i, want := range substrs {
+		if !strings.Contains(diags[i].String(), want) {
+			t.Errorf("finding %d = %q, want substring %q", i, diags[i], want)
+		}
+	}
+}
+
+const header = `package x
+
+import "sync"
+
+type guarded struct {
+	//sqlcm:lock x.a
+	a sync.Mutex
+	//sqlcm:lock x.b after x.a
+	b sync.Mutex
+	ch chan int
+}
+`
+
+func TestDeclaredOrderAccepted(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) ok() {
+	g.a.Lock()
+	g.b.Lock()
+	g.b.Unlock()
+	g.a.Unlock()
+}
+`))
+}
+
+func TestInversionFlagged(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) bad() {
+	g.b.Lock()
+	g.a.Lock()
+	g.a.Unlock()
+	g.b.Unlock()
+}
+`), `acquiring "x.a" while holding "x.b"`)
+}
+
+func TestTryLockIsAnAcquire(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) bad() {
+	g.b.Lock()
+	if g.a.TryLock() {
+		g.a.Unlock()
+	}
+	g.b.Unlock()
+}
+`), `acquiring "x.a" while holding "x.b"`)
+}
+
+func TestRWMutexSharesClass(t *testing.T) {
+	wantFindings(t, runSrc(t, `package x
+
+import "sync"
+
+type g2 struct {
+	//sqlcm:lock x.rw
+	rw sync.RWMutex
+	//sqlcm:lock x.m after x.rw
+	m sync.Mutex
+}
+
+func (g *g2) bad() {
+	g.m.Lock()
+	g.rw.RLock()
+	g.rw.RUnlock()
+	g.m.Unlock()
+}
+`), `acquiring "x.rw" while holding "x.m"`)
+}
+
+func TestInterproceduralSummary(t *testing.T) {
+	// callee locks x.b; calling it while holding x.a is legal (a -> b),
+	// while holding x.b is a same-class double acquire.
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) lockB() {
+	g.b.Lock()
+	g.b.Unlock()
+}
+
+func (g *guarded) ok() {
+	g.a.Lock()
+	g.lockB()
+	g.a.Unlock()
+}
+
+func (g *guarded) bad() {
+	g.b.Lock()
+	g.lockB()
+	g.b.Unlock()
+}
+`), `call to guarded.lockB acquires "x.b" which is already held`)
+}
+
+func TestLockHeldRequirement(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+//sqlcm:lock-held x.a
+func (g *guarded) stepLocked() {}
+
+func (g *guarded) ok() {
+	g.a.Lock()
+	g.stepLocked()
+	g.a.Unlock()
+}
+
+func (g *guarded) bad() {
+	g.stepLocked()
+}
+`), `call to guarded.stepLocked requires "x.a" to be held`)
+}
+
+func TestLockHandoff(t *testing.T) {
+	// The waitLocked pattern: enter held, release inside, re-acquire and
+	// release again on a branch. No findings.
+	wantFindings(t, runSrc(t, header+`
+//sqlcm:lock-held x.a
+//sqlcm:lock-release x.a
+func (g *guarded) waitLocked(fail bool) error {
+	if fail {
+		g.a.Unlock()
+		return nil
+	}
+	g.a.Unlock()
+	g.a.Lock()
+	g.a.Unlock()
+	return nil
+}
+
+func (g *guarded) acquire() error {
+	g.a.Lock()
+	return g.waitLocked(false)
+}
+`))
+}
+
+func TestConditionalPairedLock(t *testing.T) {
+	// "if cond { lock }; work; if cond { unlock }" must not report: the
+	// class is only maybe-held after the merge.
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) insert(bounded bool) {
+	if bounded {
+		g.a.Lock()
+	}
+	g.b.Lock()
+	g.b.Unlock()
+	if bounded {
+		g.a.Unlock()
+	}
+}
+`))
+}
+
+func TestMaybeHeldStillOrdersAcquires(t *testing.T) {
+	wantFindings(t, runSrc(t, `package x
+
+import "sync"
+
+type g3 struct {
+	//sqlcm:lock y.a
+	a sync.Mutex
+	//sqlcm:lock y.b
+	b sync.Mutex
+}
+
+func (g *g3) bad(cond bool) {
+	if cond {
+		g.b.Lock()
+	}
+	g.a.Lock()
+	g.a.Unlock()
+	if cond {
+		g.b.Unlock()
+	}
+}
+`), `acquiring "y.a" while holding "y.b"`)
+}
+
+func TestGoroutineBodyStartsUnlocked(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) ok() {
+	g.a.Lock()
+	go func() {
+		g.ch <- 1
+	}()
+	g.a.Unlock()
+}
+`))
+}
+
+func TestDeferredUnlockInLiteral(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) ok() {
+	g.a.Lock()
+	defer func() {
+		g.a.Unlock()
+	}()
+	if len(g.ch) > 0 {
+		return
+	}
+}
+`))
+}
+
+func TestCallbackReturnIsNotALeak(t *testing.T) {
+	// A return inside an inline callback must not report the enclosing
+	// function's held locks as leaked.
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) scan(fn func(int) bool) {}
+
+func (g *guarded) ok() {
+	g.a.Lock()
+	g.scan(func(v int) bool {
+		if v == 0 {
+			return false
+		}
+		return true
+	})
+	g.a.Unlock()
+}
+`))
+}
+
+func TestUnlockNotHeld(t *testing.T) {
+	wantFindings(t, runSrc(t, header+`
+func (g *guarded) bad() {
+	g.a.Unlock()
+}
+`), `unlock of "x.a" which is not held`)
+}
+
+func TestDocRendersChains(t *testing.T) {
+	h := NewHierarchy()
+	diags := runSrc(t, header) // populates nothing here; build doc directly
+	_ = diags
+	h.Classes["x.a"] = &Class{Name: "x.a", After: map[string]bool{}, Fields: []string{"x.guarded.a"}}
+	h.Classes["x.b"] = &Class{Name: "x.b", After: map[string]bool{"x.a": true}, Fields: []string{"x.guarded.b"}}
+	doc := BuildDoc(h, "")
+	for _, want := range []string{"x.a -> x.b", "| x.a | — (root) |", "## Chains"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("doc missing %q:\n%s", want, doc)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package check
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BuildDoc renders the declared hierarchy as the golden docs/lock-order.md.
+// Output is deterministic and position-free (field names, not line
+// numbers), so it only changes when an annotation changes. root makes the
+// declaration paths repo-relative.
+func BuildDoc(h *Hierarchy, root string) string {
+	var b strings.Builder
+	b.WriteString("# Lock order\n\n")
+	b.WriteString("Generated from `//sqlcm:lock` annotations by `sqlcm-vet -lockdoc -write`.\n")
+	b.WriteString("Do not edit by hand: `make lockdep` (and CI) fail when this file is\n")
+	b.WriteString("stale relative to the annotations.\n\n")
+	b.WriteString("A class may be acquired while holding only the classes it is declared\n")
+	b.WriteString("`after` (transitively). Classes with no `after` clause are roots: they\n")
+	b.WriteString("must be the outermost (or only) lock a goroutine holds. The static\n")
+	b.WriteString("checker (`sqlcm-vet -code`) enforces this order at build time; the\n")
+	b.WriteString("`sqlcmlockdep` build tag enforces it again at runtime.\n\n")
+
+	names := make([]string, 0, len(h.Classes))
+	for n := range h.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	b.WriteString("## Classes\n\n")
+	b.WriteString("| Class | May be acquired while holding | Declared on |\n")
+	b.WriteString("|---|---|---|\n")
+	for _, n := range names {
+		c := h.Classes[n]
+		after := "— (root)"
+		if len(c.After) > 0 {
+			after = strings.Join(sortedKeys(c.After), ", ")
+		}
+		fields := append([]string(nil), c.Fields...)
+		sort.Strings(fields)
+		decl := fmt.Sprintf("`%s` (%s)", strings.Join(fields, "`, `"), relPath(c.Decl, root))
+		b.WriteString(fmt.Sprintf("| %s | %s | %s |\n", n, after, decl))
+	}
+
+	b.WriteString("\n## Declared edges\n\n")
+	edges := 0
+	for _, n := range names {
+		for _, a := range sortedKeys(h.Classes[n].After) {
+			b.WriteString(fmt.Sprintf("- %s -> %s\n", a, n))
+			edges++
+		}
+	}
+	if edges == 0 {
+		b.WriteString("(none: every class is a root)\n")
+	}
+
+	b.WriteString("\n## Chains\n\n")
+	chains := buildChains(h, names)
+	if len(chains) == 0 {
+		b.WriteString("(no nesting declared)\n")
+	}
+	for _, ch := range chains {
+		b.WriteString(fmt.Sprintf("- %s\n", strings.Join(ch, " -> ")))
+	}
+	return b.String()
+}
+
+// buildChains lists every maximal root-to-leaf path through the declared
+// DAG, sorted. The SQLCM hierarchies are short, so full enumeration is
+// cheap.
+func buildChains(h *Hierarchy, names []string) [][]string {
+	succs := map[string][]string{}
+	hasPred := map[string]bool{}
+	hasSucc := map[string]bool{}
+	for _, n := range names {
+		for _, a := range sortedKeys(h.Classes[n].After) {
+			if _, ok := h.Classes[a]; !ok {
+				continue
+			}
+			succs[a] = append(succs[a], n)
+			hasPred[n] = true
+			hasSucc[a] = true
+		}
+	}
+	var chains [][]string
+	var extend func(path []string)
+	extend = func(path []string) {
+		tip := path[len(path)-1]
+		if len(succs[tip]) == 0 {
+			if len(path) > 1 {
+				chains = append(chains, append([]string(nil), path...))
+			}
+			return
+		}
+		for _, next := range succs[tip] {
+			extend(append(path, next))
+		}
+	}
+	for _, n := range names {
+		if !hasPred[n] && hasSucc[n] {
+			extend([]string{n})
+		}
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		return strings.Join(chains[i], " ") < strings.Join(chains[j], " ")
+	})
+	return chains
+}
+
+func relPath(pos token.Position, root string) string {
+	if root == "" {
+		return pos.Filename
+	}
+	if rel, err := filepath.Rel(root, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return pos.Filename
+}
+
+// DocTree parses the tree under root and renders its lock-order document.
+// Annotation problems (unknown classes, cycles) surface as diagnostics
+// from RunTree, not here; the document renders what is declared.
+func DocTree(root string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parseTree(fset, root)
+	if err != nil {
+		return "", err
+	}
+	h := NewHierarchy()
+	drop := func(Diagnostic) {}
+	for _, files := range pkgs {
+		collectAnnotations(fset, files, h, drop)
+	}
+	return BuildDoc(h, root), nil
+}

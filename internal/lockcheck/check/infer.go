@@ -1,0 +1,211 @@
+package check
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// pkgInfo holds the per-package facts the walker needs to resolve lock
+// sites without go/types: struct field types, function/method result
+// types, and declared type names. Types are flattened to strings with
+// pointers erased; slices, arrays and maps carry a "[]" prefix so
+// indexing and ranging can strip it.
+type pkgInfo struct {
+	structFields map[string]map[string]string // type → field → type string
+	results      map[string]string            // "Type.method" or "func" → first result type
+	typeNames    map[string]bool
+}
+
+func buildPkgInfo(files []*ast.File) *pkgInfo {
+	p := &pkgInfo{
+		structFields: map[string]map[string]string{},
+		results:      map[string]string{},
+		typeNames:    map[string]bool{},
+	}
+	for _, file := range files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					p.typeNames[ts.Name.Name] = true
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					fields := map[string]string{}
+					for _, f := range st.Fields.List {
+						t := typeString(f.Type)
+						if len(f.Names) == 0 {
+							// Embedded field: named after its type base.
+							if base := baseName(t); base != "" {
+								fields[base] = t
+							}
+							continue
+						}
+						for _, n := range f.Names {
+							fields[n.Name] = t
+						}
+					}
+					p.structFields[ts.Name.Name] = fields
+				}
+			case *ast.FuncDecl:
+				if d.Type.Results == nil || len(d.Type.Results.List) == 0 {
+					continue
+				}
+				res := typeString(d.Type.Results.List[0].Type)
+				if res == "" {
+					continue
+				}
+				key := d.Name.Name
+				if d.Recv != nil && len(d.Recv.List) == 1 {
+					if recv := typeString(d.Recv.List[0].Type); recv != "" {
+						key = recv + "." + key
+					}
+				}
+				if _, dup := p.results[key]; !dup {
+					p.results[key] = res
+				}
+			}
+		}
+	}
+	return p
+}
+
+// typeString flattens a type expression: pointers erased, named types by
+// (optionally package-qualified) name, slice/array/map element types
+// behind a "[]" prefix. Unhandled shapes flatten to "".
+func typeString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return typeString(t.X)
+	case *ast.ParenExpr:
+		return typeString(t.X)
+	case *ast.SelectorExpr:
+		if x, ok := t.X.(*ast.Ident); ok {
+			return x.Name + "." + t.Sel.Name
+		}
+	case *ast.ArrayType:
+		if el := typeString(t.Elt); el != "" {
+			return "[]" + el
+		}
+	case *ast.MapType:
+		if el := typeString(t.Value); el != "" {
+			return "[]" + el
+		}
+	}
+	return ""
+}
+
+// baseName returns the unqualified name of a flattened type string, or
+// "" for containers.
+func baseName(t string) string {
+	if t == "" || strings.HasPrefix(t, "[]") {
+		return ""
+	}
+	if i := strings.LastIndex(t, "."); i >= 0 {
+		return t[i+1:]
+	}
+	return t
+}
+
+// inferExpr resolves an expression to a flattened type string using the
+// local scope env (variable → type). "" means unknown.
+func (p *pkgInfo) inferExpr(e ast.Expr, env map[string]string) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return env[x.Name]
+	case *ast.ParenExpr:
+		return p.inferExpr(x.X, env)
+	case *ast.StarExpr:
+		return p.inferExpr(x.X, env)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return p.inferExpr(x.X, env)
+		}
+	case *ast.CompositeLit:
+		return typeString(x.Type)
+	case *ast.TypeAssertExpr:
+		if x.Type != nil {
+			return typeString(x.Type)
+		}
+	case *ast.IndexExpr:
+		if t := p.inferExpr(x.X, env); strings.HasPrefix(t, "[]") {
+			return t[2:]
+		}
+	case *ast.SelectorExpr:
+		if base := p.inferExpr(x.X, env); base != "" {
+			return p.structFields[baseName(base)][x.Sel.Name]
+		}
+		// No local type: X may be a package qualifier.
+		if id, ok := x.X.(*ast.Ident); ok && env[id.Name] == "" {
+			return id.Name + "." + x.Sel.Name
+		}
+	case *ast.CallExpr:
+		switch f := x.Fun.(type) {
+		case *ast.Ident:
+			if f.Name == "new" && len(x.Args) == 1 {
+				return typeString(x.Args[0])
+			}
+			if r, ok := p.results[f.Name]; ok {
+				return r
+			}
+			if p.typeNames[f.Name] && len(x.Args) == 1 {
+				return f.Name // type conversion
+			}
+		case *ast.SelectorExpr:
+			if t := baseName(p.inferExpr(f.X, env)); t != "" {
+				return p.results[t+"."+f.Sel.Name]
+			}
+		}
+	}
+	return ""
+}
+
+// bindAssign updates env for an assignment or short declaration.
+func (p *pkgInfo) bindAssign(lhs, rhs []ast.Expr, env map[string]string) {
+	for i, l := range lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		var t string
+		switch {
+		case len(rhs) == len(lhs):
+			t = p.inferExpr(rhs[i], env)
+		case len(rhs) == 1 && i == 0:
+			// v, ok := m[k] / x, ok := y.(T) / a, b := f(): only the
+			// first value's type is tracked.
+			t = p.inferExpr(rhs[0], env)
+		}
+		env[id.Name] = t
+	}
+}
+
+// bindParams seeds env from a function's receiver, parameters and named
+// results.
+func bindParams(ft *ast.FuncType, recv *ast.FieldList, env map[string]string) {
+	bind := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			t := typeString(f.Type)
+			for _, n := range f.Names {
+				env[n.Name] = t
+			}
+		}
+	}
+	bind(recv)
+	bind(ft.Params)
+	bind(ft.Results)
+}

@@ -1,0 +1,711 @@
+package check
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// lockAcquireOps and lockReleaseOps are the method names treated as lock
+// operations when called through a selector.
+var lockAcquireOps = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var lockReleaseOps = map[string]bool{"Unlock": true, "RUnlock": true}
+
+// enqueueOps are outbox methods that must not be called under a lock.
+var enqueueOps = map[string]bool{"Enqueue": true, "TryEnqueue": true}
+
+// acqInfo describes one held lock class.
+type acqInfo struct {
+	pos        token.Pos
+	deferred   bool // a defer releases it
+	fromCaller bool // held on entry per //sqlcm:lock-held, or inherited by an inline callback
+	// maybe marks a class held on only some of the merged control-flow
+	// paths (e.g. "if t.bounded { t.orderMu.Lock() }"). Ordering checks
+	// still apply — the lock is really held on one path — but same-class
+	// and leak reports are suppressed: the matching conditional unlock is
+	// beyond this analysis's precision, and the runtime lockdep build
+	// covers those.
+	maybe bool
+}
+
+// summary is the interprocedural digest of one function, applied at
+// same-package call sites (one level deep: summaries are built without
+// callee information).
+type summary struct {
+	acquires []acqAt  // every class the body acquires, sorted
+	net      []string // held at fall-off exit (excluding caller-held), sorted
+	requires []string // //sqlcm:lock-held classes, sorted
+	releases []string // //sqlcm:lock-release classes, sorted
+}
+
+type acqAt struct {
+	class string
+	pos   token.Pos
+}
+
+// pkgChecker carries the per-package state shared by all walkers.
+type pkgChecker struct {
+	fset      *token.FileSet
+	pkg       string
+	hier      *Hierarchy
+	info      *pkgInfo
+	summaries map[string]*summary
+	report    func(Diagnostic) // nil during the summary pass
+}
+
+// checkPackage runs the two-pass walk: pass one computes per-function
+// summaries with reporting disabled, pass two re-walks every function
+// with summaries applied at same-package call sites.
+func checkPackage(fset *token.FileSet, files []*ast.File, h *Hierarchy, report func(Diagnostic)) {
+	pc := &pkgChecker{
+		fset:      fset,
+		pkg:       files[0].Name.Name,
+		hier:      h,
+		info:      buildPkgInfo(files),
+		summaries: map[string]*summary{},
+	}
+	for _, file := range files {
+		allow := allowedLines(fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pc.summaries[funcKey(fn)] = pc.walkFunc(fn, allow)
+		}
+	}
+	pc.report = report
+	for _, file := range files {
+		allow := allowedLines(fset, file)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			pc.walkFunc(fn, allow)
+		}
+	}
+}
+
+// funcKey names a function the way call sites resolve it: "Type.method"
+// for methods, the bare name for functions.
+func funcKey(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if recv := typeString(fn.Recv.List[0].Type); recv != "" {
+			return recv + "." + fn.Name.Name
+		}
+	}
+	return fn.Name.Name
+}
+
+// walkFunc analyzes one function and returns its summary.
+func (pc *pkgChecker) walkFunc(fn *ast.FuncDecl, allow map[int]bool) *summary {
+	w := &walker{
+		c:        pc,
+		allow:    allow,
+		name:     funcKey(fn),
+		env:      map[string]string{},
+		held:     map[string]*acqInfo{},
+		release:  map[string]bool{},
+		acquired: map[string]token.Pos{},
+	}
+	bindParams(fn.Type, fn.Recv, w.env)
+	requires := funcDirective(fn, "lock-held")
+	for _, class := range requires {
+		if _, ok := pc.hier.Classes[class]; !ok {
+			w.reportf(fn.Pos(), "lockclass", "//sqlcm:lock-held names unknown class %q", class)
+		}
+		w.held[class] = &acqInfo{pos: fn.Pos(), fromCaller: true}
+	}
+	releases := funcDirective(fn, "lock-release")
+	for _, class := range releases {
+		if _, ok := pc.hier.Classes[class]; !ok {
+			w.reportf(fn.Pos(), "lockclass", "//sqlcm:lock-release names unknown class %q", class)
+		}
+		w.release[class] = true
+	}
+	s := &summary{requires: append([]string(nil), requires...), releases: append([]string(nil), releases...)}
+	sort.Strings(s.requires)
+	sort.Strings(s.releases)
+	if fn.Body == nil {
+		return s
+	}
+	if !w.walkBlock(fn.Body.List) {
+		w.exitCheck(fn.Body.Rbrace)
+	}
+	for class, pos := range w.acquired {
+		s.acquires = append(s.acquires, acqAt{class: class, pos: pos})
+	}
+	sort.Slice(s.acquires, func(i, j int) bool { return s.acquires[i].class < s.acquires[j].class })
+	for class, info := range w.held {
+		if !info.deferred && !info.fromCaller && !info.maybe {
+			s.net = append(s.net, class)
+		}
+	}
+	sort.Strings(s.net)
+	return s
+}
+
+// walker tracks the held lock classes and local variable types along one
+// control-flow path. Branches run on clones; acquired and the checker
+// itself are shared.
+type walker struct {
+	c        *pkgChecker
+	allow    map[int]bool
+	name     string
+	env      map[string]string
+	held     map[string]*acqInfo
+	release  map[string]bool
+	acquired map[string]token.Pos
+}
+
+func (w *walker) clone() *walker {
+	nh := make(map[string]*acqInfo, len(w.held))
+	for k, v := range w.held {
+		c := *v
+		nh[k] = &c
+	}
+	ne := make(map[string]string, len(w.env))
+	for k, v := range w.env {
+		ne[k] = v
+	}
+	return &walker{c: w.c, allow: w.allow, name: w.name, env: ne, held: nh, release: w.release, acquired: w.acquired}
+}
+
+// adopt replaces this walker's state with o's (the surviving branch).
+func (w *walker) adopt(o *walker) {
+	w.held = o.held
+	w.env = o.env
+}
+
+// unionInto merges o's state in: a class held on any incoming path is
+// treated as held (the conservative choice for ordering checks), but a
+// class missing on one side is downgraded to maybe-held.
+func (w *walker) unionInto(o *walker) {
+	for k, v := range o.held {
+		if mine, ok := w.held[k]; ok {
+			mine.maybe = mine.maybe || v.maybe
+			mine.deferred = mine.deferred || v.deferred
+		} else {
+			c := *v
+			c.maybe = true
+			w.held[k] = &c
+		}
+	}
+	for k, mine := range w.held {
+		if _, ok := o.held[k]; !ok {
+			mine.maybe = true
+		}
+	}
+	for k, v := range o.env {
+		if _, ok := w.env[k]; !ok {
+			w.env[k] = v
+		}
+	}
+}
+
+func (w *walker) reportf(pos token.Pos, analyzer, format string, args ...any) {
+	if w.c.report == nil {
+		return
+	}
+	p := w.c.fset.Position(pos)
+	if w.allow[p.Line] {
+		return
+	}
+	w.c.report(Diagnostic{Pos: p, Analyzer: analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+func (w *walker) heldList() []string {
+	out := make([]string, 0, len(w.held))
+	for k := range w.held {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (w *walker) posString(pos token.Pos) string {
+	p := w.c.fset.Position(pos)
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// walkBlock walks statements in order; a terminating statement (return,
+// panic, break/continue/goto) ends the path.
+func (w *walker) walkBlock(stmts []ast.Stmt) bool {
+	for _, st := range stmts {
+		if w.walkStmt(st) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStmt analyzes one statement and reports whether it terminates the
+// current path.
+func (w *walker) walkStmt(s ast.Stmt) bool {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				for _, a := range call.Args {
+					w.handleExpr(a)
+				}
+				// A panicking path dies (or is quarantined by a recover
+				// upstream); held locks are not a leak here.
+				return true
+			}
+		}
+		w.handleExpr(st.X)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.handleExpr(e)
+		}
+		for _, e := range st.Lhs {
+			if _, ok := e.(*ast.Ident); !ok {
+				w.handleExpr(e)
+			}
+		}
+		w.c.info.bindAssign(st.Lhs, st.Rhs, w.env)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.handleExpr(v)
+				}
+				t := ""
+				if vs.Type != nil {
+					t = typeString(vs.Type)
+				}
+				for i, n := range vs.Names {
+					if t == "" && i < len(vs.Values) {
+						w.env[n.Name] = w.c.info.inferExpr(vs.Values[i], w.env)
+					} else {
+						w.env[n.Name] = t
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.handleExpr(e)
+		}
+		w.exitCheck(st.Pos())
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.DeferStmt:
+		w.handleDefer(st.Call)
+	case *ast.GoStmt:
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			// The goroutine starts with an empty held-set; its body is
+			// checked independently.
+			gw := w.clone()
+			gw.held = map[string]*acqInfo{}
+			gw.walkBlock(lit.Body.List)
+		} else {
+			w.handleExpr(st.Call.Fun)
+		}
+		for _, a := range st.Call.Args {
+			w.handleExpr(a)
+		}
+	case *ast.SendStmt:
+		w.checkSend(st.Arrow)
+		w.handleExpr(st.Chan)
+		w.handleExpr(st.Value)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.handleExpr(st.Cond)
+		thenW := w.clone()
+		thenTerm := thenW.walkBlock(st.Body.List)
+		elseW := w.clone()
+		elseTerm := false
+		if st.Else != nil {
+			elseTerm = elseW.walkStmt(st.Else)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			w.adopt(elseW)
+		case elseTerm:
+			w.adopt(thenW)
+		default:
+			w.adopt(thenW)
+			w.unionInto(elseW)
+		}
+	case *ast.BlockStmt:
+		return w.walkBlock(st.List)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.handleExpr(st.Cond)
+		body := w.clone()
+		body.walkBlock(st.Body.List)
+		if st.Post != nil {
+			body.walkStmt(st.Post)
+		}
+		w.unionInto(body)
+	case *ast.RangeStmt:
+		w.handleExpr(st.X)
+		body := w.clone()
+		if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+			t := w.c.info.inferExpr(st.X, w.env)
+			if strings.HasPrefix(t, "[]") {
+				body.env[id.Name] = t[2:]
+			} else {
+				body.env[id.Name] = ""
+			}
+		}
+		if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+			body.env[id.Name] = ""
+		}
+		body.walkBlock(st.Body.List)
+		w.unionInto(body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		w.handleExpr(st.Tag)
+		w.walkCases(st.Body)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			w.walkStmt(st.Init)
+		}
+		if st.Assign != nil {
+			w.walkStmt(st.Assign)
+		}
+		w.walkCases(st.Body)
+	case *ast.SelectStmt:
+		w.walkSelect(st)
+	case *ast.LabeledStmt:
+		return w.walkStmt(st.Stmt)
+	case *ast.IncDecStmt:
+		w.handleExpr(st.X)
+	}
+	return false
+}
+
+// walkCases walks switch case bodies on clones and unions the states of
+// the paths that fall through.
+func (w *walker) walkCases(body *ast.BlockStmt) {
+	for _, cs := range body.List {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.handleExpr(e)
+		}
+		cw := w.clone()
+		if !cw.walkBlock(cc.Body) {
+			w.unionInto(cw)
+		}
+	}
+}
+
+// walkSelect walks a select statement. Sends in a select that has a
+// default clause cannot block and are exempt from the send-under-lock
+// check.
+func (w *walker) walkSelect(st *ast.SelectStmt) {
+	hasDefault := false
+	for _, cs := range st.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			hasDefault = true
+		}
+	}
+	for _, cs := range st.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		cw := w.clone()
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			if !hasDefault {
+				cw.checkSend(send.Arrow)
+			}
+			cw.handleExpr(send.Chan)
+			cw.handleExpr(send.Value)
+		} else if cc.Comm != nil {
+			cw.walkStmt(cc.Comm)
+		}
+		if !cw.walkBlock(cc.Body) {
+			w.unionInto(cw)
+		}
+	}
+}
+
+// handleExpr scans an expression for calls and function literals.
+// Literals are walked inline under the current held-set: callbacks in
+// this codebase run synchronously at their syntactic position (e.g.
+// scan callbacks), so that is the faithful approximation.
+func (w *walker) handleExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lw := w.clone()
+			// Locks held at the callback's syntactic position are the
+			// enclosing function's responsibility: ordering inside the
+			// literal is still checked against them, but a return inside
+			// the literal is not a leak.
+			for _, info := range lw.held {
+				info.fromCaller = true
+			}
+			lw.walkBlock(x.Body.List)
+			return false
+		case *ast.CallExpr:
+			w.handleCall(x)
+		}
+		return true
+	})
+}
+
+// handleCall dispatches one call: a lock operation, an outbox enqueue,
+// or a same-package call whose summary is applied.
+func (w *walker) handleCall(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if s := w.c.summaries[id.Name]; s != nil {
+				w.applySummary(id.Name, s, call.Pos())
+			}
+		}
+		return
+	}
+	op := sel.Sel.Name
+	if lockAcquireOps[op] || lockReleaseOps[op] {
+		class := w.resolveLockExpr(sel.X)
+		if class == "" {
+			w.reportf(call.Pos(), "lockclass",
+				"cannot resolve the lock class of %s.%s(); annotate the field with //sqlcm:lock or keep the receiver locally inferable", exprText(sel.X), op)
+			return
+		}
+		if lockAcquireOps[op] {
+			w.acquire(class, call.Pos())
+		} else {
+			w.releaseLock(class, call.Pos())
+		}
+		return
+	}
+	if enqueueOps[op] && len(w.held) > 0 {
+		w.reportf(call.Pos(), "locksend",
+			"outbox enqueue while holding %s; enqueue after unlocking", quotedList(w.heldList()))
+	}
+	if t := baseName(w.c.info.inferExpr(sel.X, w.env)); t != "" {
+		if s := w.c.summaries[t+"."+op]; s != nil {
+			w.applySummary(t+"."+op, s, call.Pos())
+		}
+	}
+}
+
+// acquire checks and records taking a lock of the given class.
+func (w *walker) acquire(class string, pos token.Pos) {
+	if _, ok := w.acquired[class]; !ok {
+		w.acquired[class] = pos
+	}
+	if prev, ok := w.held[class]; ok {
+		if prev.maybe {
+			// Held on only some merged paths; this acquire makes it
+			// definite. Order against the other held classes still holds
+			// from the original acquisition site.
+			prev.maybe = false
+			prev.pos = pos
+			prev.fromCaller = false
+			return
+		}
+		w.reportf(pos, "lockorder",
+			"acquiring %q while already holding it (acquired at %s)", class, w.posString(prev.pos))
+		return
+	}
+	for _, h := range w.heldList() {
+		if !w.c.hier.Reachable(h, class) {
+			w.reportf(pos, "lockorder",
+				"acquiring %q while holding %q: no declared order path %s -> %s (see docs/lock-order.md)", class, h, h, class)
+		}
+	}
+	w.held[class] = &acqInfo{pos: pos}
+}
+
+// releaseLock records an unlock.
+func (w *walker) releaseLock(class string, pos token.Pos) {
+	if _, ok := w.held[class]; ok {
+		delete(w.held, class)
+		return
+	}
+	if w.release[class] {
+		// Declared lock handoff: the caller's lock, released here.
+		return
+	}
+	w.reportf(pos, "lockunlock", "unlock of %q which is not held on this path", class)
+}
+
+// handleDefer marks the classes released by a deferred unlock (direct or
+// inside a deferred function literal) as covered.
+func (w *walker) handleDefer(call *ast.CallExpr) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && lockReleaseOps[sel.Sel.Name] {
+		if class := w.resolveLockExpr(sel.X); class != "" {
+			if info, held := w.held[class]; held {
+				info.deferred = true
+			}
+		}
+		return
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			c, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok && lockReleaseOps[sel.Sel.Name] {
+				if class := w.resolveLockExpr(sel.X); class != "" {
+					if info, held := w.held[class]; held {
+						info.deferred = true
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	for _, a := range call.Args {
+		w.handleExpr(a)
+	}
+}
+
+// applySummary replays a callee's lock effects at the call site.
+func (w *walker) applySummary(name string, s *summary, pos token.Pos) {
+	for _, req := range s.requires {
+		if _, ok := w.held[req]; !ok {
+			w.reportf(pos, "lockorder",
+				"call to %s requires %q to be held (//sqlcm:lock-held)", name, req)
+		}
+	}
+	released := map[string]bool{}
+	for _, class := range s.releases {
+		released[class] = true
+	}
+	for _, a := range s.acquires {
+		if released[a.class] {
+			// The callee manages this class's lifecycle itself (lock
+			// handoff): any internal re-acquire happens after the declared
+			// release, and the //sqlcm:lock-held check above already
+			// validated the entry state.
+			continue
+		}
+		if info, ok := w.held[a.class]; ok {
+			if !info.maybe {
+				w.reportf(pos, "lockorder",
+					"call to %s acquires %q which is already held", name, a.class)
+			}
+			continue
+		}
+		for _, h := range w.heldList() {
+			if !w.c.hier.Reachable(h, a.class) {
+				w.reportf(pos, "lockorder",
+					"call to %s acquires %q while holding %q: no declared order path %s -> %s (see docs/lock-order.md)",
+					name, a.class, h, h, a.class)
+			}
+		}
+	}
+	for _, class := range s.net {
+		if _, ok := w.held[class]; !ok {
+			w.held[class] = &acqInfo{pos: pos}
+		}
+	}
+	for _, class := range s.releases {
+		if _, ok := w.held[class]; ok {
+			delete(w.held, class)
+		} else if !w.release[class] {
+			w.reportf(pos, "lockunlock", "call to %s releases %q which is not held", name, class)
+		}
+	}
+}
+
+// checkSend reports a potentially blocking channel send under a lock.
+func (w *walker) checkSend(pos token.Pos) {
+	if len(w.held) == 0 {
+		return
+	}
+	w.reportf(pos, "locksend",
+		"channel send while holding %s; move the send outside the critical section or use select with default", quotedList(w.heldList()))
+}
+
+// exitCheck runs at every path exit: locally acquired locks must have
+// been released or be covered by a defer, and declared lock-release
+// classes must actually have been released.
+func (w *walker) exitCheck(pos token.Pos) {
+	for _, class := range w.heldList() {
+		info := w.held[class]
+		if info.deferred || info.fromCaller || info.maybe {
+			continue
+		}
+		w.reportf(pos, "lockunlock",
+			"lock %q acquired at %s may still be held at this return (missing unlock or defer)", class, w.posString(info.pos))
+	}
+	for _, class := range sortedKeys(w.release) {
+		if info, ok := w.held[class]; ok && !info.deferred && !info.maybe {
+			w.reportf(pos, "lockunlock",
+				"//sqlcm:lock-release declares %q released, but it may still be held at this return", class)
+		}
+	}
+}
+
+// resolveLockExpr resolves the receiver of a lock-op call to its class,
+// or "" when it cannot be resolved.
+func (w *walker) resolveLockExpr(recv ast.Expr) string {
+	switch x := recv.(type) {
+	case *ast.ParenExpr:
+		return w.resolveLockExpr(x.X)
+	case *ast.StarExpr:
+		return w.resolveLockExpr(x.X)
+	case *ast.SelectorExpr:
+		t := w.c.info.inferExpr(x.X, w.env)
+		if !strings.Contains(t, ".") {
+			t = baseName(t)
+		}
+		return w.c.hier.ClassOf(w.c.pkg, t, x.Sel.Name)
+	case *ast.Ident:
+		// A bare identifier is a local mutex variable: those are outside
+		// the declared hierarchy and unresolvable by design.
+		return ""
+	}
+	return ""
+}
+
+// exprText renders simple selector chains for diagnostics.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.CallExpr:
+		return exprText(x.Fun) + "(...)"
+	}
+	return "<expr>"
+}
+
+func quotedList(classes []string) string {
+	quoted := make([]string, len(classes))
+	for i, c := range classes {
+		quoted[i] = fmt.Sprintf("%q", c)
+	}
+	return strings.Join(quoted, ", ")
+}

@@ -1,0 +1,108 @@
+package lockcheck_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"sqlcm/internal/analysis"
+	"sqlcm/internal/lockcheck/check"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// fixtureFiles lists the .go files of one testdata fixture package.
+func fixtureFiles(t *testing.T, name string) []string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	var paths []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatalf("fixture %s has no .go files", name)
+	}
+	return paths
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	goldenPath := filepath.Join("testdata", "src", name, name+".golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestSeededFixtureGoldens pins the exact diagnostics for every seeded
+// lock bug: order inversion, missing unlock, send under lock, unannotated
+// mutex, cyclic declaration, enqueue under lock.
+func TestSeededFixtureGoldens(t *testing.T) {
+	cases := []string{
+		"seededinversion",
+		"missingunlock",
+		"sendunderlock",
+		"unannotated",
+		"cycle",
+		"enqueue",
+	}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			diags, err := check.RunFiles(fixtureFiles(t, name))
+			if err != nil {
+				t.Fatalf("RunFiles: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(filepath.ToSlash(d.String()) + "\n")
+			}
+			checkGolden(t, name, b.String())
+		})
+	}
+}
+
+// TestHotpathLockGolden pins the internal/analysis diagnostic for a
+// hot-path function locking an un-annotated mutex.
+func TestHotpathLockGolden(t *testing.T) {
+	diags, err := analysis.RunFiles(fixtureFiles(t, "hotpathlock"))
+	if err != nil {
+		t.Fatalf("analysis.RunFiles: %v", err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(filepath.ToSlash(d.String()) + "\n")
+	}
+	checkGolden(t, "hotpathlock", b.String())
+}
+
+// TestAnnotatedTreeIsClean runs the full lock checker over the repository
+// and requires zero findings: the shipped tree must satisfy its own
+// declared hierarchy.
+func TestAnnotatedTreeIsClean(t *testing.T) {
+	diags, err := check.RunTree("../..")
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,28 @@
+// Package lockcheck turns SQLCM's latch hierarchy into a checked contract.
+//
+// Every mutex on the monitoring hot path is declared to belong to a lock
+// class with a //sqlcm:lock annotation on its field:
+//
+//	//sqlcm:lock lat.shard after lat.order
+//	mu lockcheck.RWMutex
+//
+// The annotations compile into a partial-order DAG ("lat.shard after
+// lat.order" means lat.order may be held when acquiring lat.shard). Two
+// independent enforcers consume it:
+//
+//   - internal/lockcheck/check: a static go/ast pass (run by sqlcm-vet
+//     -code) that walks every function, tracks the set of held classes
+//     across calls, and reports acquisitions that violate the declared
+//     order, Lock calls without a dominating Unlock, and locks held
+//     across channel sends or outbox enqueues.
+//
+//   - a runtime lockdep, compiled in with -tags sqlcmlockdep: the Mutex
+//     and RWMutex wrappers below record the per-goroutine held-set and
+//     the observed acquisition-order graph, and panic with both stacks
+//     on the first order inversion or same-class double acquire. The
+//     default build compiles the wrappers down to plain sync types.
+//
+// SetClass names a lock's class at construction time; locks that never
+// get a class are ignored by the runtime lockdep (and flagged by the
+// static pass, which requires every mutex field to carry an annotation).
+package lockcheck

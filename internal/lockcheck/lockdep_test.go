@@ -1,0 +1,218 @@
+//go:build sqlcmlockdep
+
+package lockcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn does not panic.
+func mustPanic(t *testing.T, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		fn()
+	}()
+	if msg == "" {
+		t.Fatal("expected a lockdep panic, got none")
+	}
+	return msg
+}
+
+func TestInversionPanicsWithBothStacks(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b Mutex
+	a.SetClass("test.a")
+	b.SetClass("test.b")
+
+	// Establish the order test.a -> test.b.
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+
+	// Invert it.
+	b.Lock()
+	defer b.Unlock()
+	msg := mustPanic(t, func() { a.Lock() })
+
+	for _, want := range []string{"test.a", "test.b", "lock order inversion"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic message missing %q:\n%s", want, msg)
+		}
+	}
+	// Both stacks: the current acquisition and the recorded conflicting one.
+	if got := strings.Count(msg, "goroutine "); got < 2 {
+		t.Errorf("panic message should carry two goroutine stacks, found %d:\n%s", got, msg)
+	}
+}
+
+func TestTransitiveInversionDetected(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b, c Mutex
+	a.SetClass("test.a")
+	b.SetClass("test.b")
+	c.SetClass("test.c")
+
+	// Observe a -> b and b -> c.
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	c.Lock()
+	c.Unlock()
+	b.Unlock()
+
+	// c held while acquiring a closes the cycle a => c -> a.
+	c.Lock()
+	defer c.Unlock()
+	msg := mustPanic(t, func() { a.Lock() })
+	if !strings.Contains(msg, "test.a") || !strings.Contains(msg, "test.c") {
+		t.Errorf("panic message should name both classes:\n%s", msg)
+	}
+}
+
+func TestSameClassDoubleAcquirePanics(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b Mutex
+	a.SetClass("test.same")
+	b.SetClass("test.same")
+
+	a.Lock()
+	defer a.Unlock()
+	msg := mustPanic(t, func() { b.Lock() })
+	if !strings.Contains(msg, "same-class double acquire") || !strings.Contains(msg, "test.same") {
+		t.Errorf("unexpected double-acquire message:\n%s", msg)
+	}
+}
+
+func TestRWMutexParticipates(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var rw RWMutex
+	var m Mutex
+	rw.SetClass("test.rw")
+	m.SetClass("test.m")
+
+	// rw (read) -> m establishes the order.
+	rw.RLock()
+	m.Lock()
+	m.Unlock()
+	rw.RUnlock()
+
+	m.Lock()
+	defer m.Unlock()
+	msg := mustPanic(t, func() { rw.Lock() })
+	if !strings.Contains(msg, "test.rw") || !strings.Contains(msg, "test.m") {
+		t.Errorf("panic message should name both classes:\n%s", msg)
+	}
+}
+
+func TestTryLockCreatesNoIncomingEdge(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b Mutex
+	a.SetClass("test.a")
+	b.SetClass("test.b")
+
+	// a -> b observed.
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+
+	// TryLock(a) under b must not panic (non-blocking acquires cannot
+	// deadlock) and must not record b -> a.
+	b.Lock()
+	if !a.TryLock() {
+		t.Fatal("uncontended TryLock failed")
+	}
+	a.Unlock()
+	b.Unlock()
+
+	// The original order therefore still stands: a -> b is fine...
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+
+	// ...but locks acquired UNDER a try-held lock do gain edges.
+	if !b.TryLock() {
+		t.Fatal("uncontended TryLock failed")
+	}
+	defer b.Unlock()
+	msg := mustPanic(t, func() { a.Lock() })
+	if !strings.Contains(msg, "inversion") {
+		t.Errorf("expected inversion panic, got:\n%s", msg)
+	}
+}
+
+func TestUnclassedLocksIgnored(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b Mutex // no SetClass
+	a.Lock()
+	b.Lock()
+	b.Unlock()
+	a.Unlock()
+	b.Lock()
+	a.Lock() // would be an inversion if tracked
+	a.Unlock()
+	b.Unlock()
+}
+
+func TestCrossGoroutineInversion(t *testing.T) {
+	ResetForTest()
+	defer ResetForTest()
+
+	var a, b Mutex
+	a.SetClass("test.a")
+	b.SetClass("test.b")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Lock()
+		b.Lock()
+		b.Unlock()
+		a.Unlock()
+	}()
+	<-done
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var msg string
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+			b.Unlock()
+		}()
+		b.Lock()
+		a.Lock()
+	}()
+	wg.Wait()
+	if !strings.Contains(msg, "lock order inversion") {
+		t.Errorf("inversion recorded on one goroutine must trip another, got:\n%s", msg)
+	}
+}

@@ -1,0 +1,32 @@
+//go:build !sqlcmlockdep
+
+package lockcheck
+
+import "sync"
+
+// Enabled reports whether the runtime lockdep is compiled in.
+const Enabled = false
+
+// Mutex is a drop-in sync.Mutex that participates in runtime lockdep
+// when built with -tags sqlcmlockdep. In the default build it is exactly
+// a sync.Mutex.
+type Mutex struct {
+	sync.Mutex
+}
+
+// SetClass names this lock's class in the declared hierarchy.
+func (m *Mutex) SetClass(string) {}
+
+// RWMutex is a drop-in sync.RWMutex that participates in runtime lockdep
+// when built with -tags sqlcmlockdep. In the default build it is exactly
+// a sync.RWMutex.
+type RWMutex struct {
+	sync.RWMutex
+}
+
+// SetClass names this lock's class in the declared hierarchy.
+func (m *RWMutex) SetClass(string) {}
+
+// ResetForTest clears the global lockdep state. It is a no-op without
+// the sqlcmlockdep build tag.
+func ResetForTest() {}

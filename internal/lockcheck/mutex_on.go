@@ -1,0 +1,270 @@
+//go:build sqlcmlockdep
+
+package lockcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Enabled reports whether the runtime lockdep is compiled in.
+const Enabled = true
+
+// Mutex is sync.Mutex plus lockdep bookkeeping (sqlcmlockdep build).
+type Mutex struct {
+	inner sync.Mutex
+	class string
+}
+
+// SetClass names this lock's class in the declared hierarchy. Call it
+// once, at construction, before the lock is shared.
+func (m *Mutex) SetClass(c string) { m.class = c }
+
+// Lock acquires the mutex, checking the observed lock order first so an
+// inversion panics instead of deadlocking.
+func (m *Mutex) Lock() {
+	beforeAcquire(m.class, true)
+	m.inner.Lock()
+}
+
+// TryLock attempts the lock without blocking. A successful TryLock joins
+// the held-set (locks acquired under it gain order edges) but creates no
+// edge itself: a non-blocking acquire cannot deadlock.
+func (m *Mutex) TryLock() bool {
+	if !m.inner.TryLock() {
+		return false
+	}
+	beforeAcquire(m.class, false)
+	return true
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() {
+	afterRelease(m.class)
+	m.inner.Unlock()
+}
+
+// RWMutex is sync.RWMutex plus lockdep bookkeeping (sqlcmlockdep build).
+// Read and write acquisitions share the lock's class: a read lock still
+// participates in deadlock cycles against writers.
+type RWMutex struct {
+	inner sync.RWMutex
+	class string
+}
+
+// SetClass names this lock's class in the declared hierarchy. Call it
+// once, at construction, before the lock is shared.
+func (m *RWMutex) SetClass(c string) { m.class = c }
+
+// Lock acquires the write lock.
+func (m *RWMutex) Lock() {
+	beforeAcquire(m.class, true)
+	m.inner.Lock()
+}
+
+// Unlock releases the write lock.
+func (m *RWMutex) Unlock() {
+	afterRelease(m.class)
+	m.inner.Unlock()
+}
+
+// RLock acquires the read lock.
+func (m *RWMutex) RLock() {
+	beforeAcquire(m.class, true)
+	m.inner.RLock()
+}
+
+// RUnlock releases the read lock.
+func (m *RWMutex) RUnlock() {
+	afterRelease(m.class)
+	m.inner.RUnlock()
+}
+
+// TryLock attempts the write lock without blocking.
+func (m *RWMutex) TryLock() bool {
+	if !m.inner.TryLock() {
+		return false
+	}
+	beforeAcquire(m.class, false)
+	return true
+}
+
+// TryRLock attempts the read lock without blocking.
+func (m *RWMutex) TryRLock() bool {
+	if !m.inner.TryRLock() {
+		return false
+	}
+	beforeAcquire(m.class, false)
+	return true
+}
+
+// lockEdge records that `from` was held while `to` was acquired.
+type lockEdge struct{ from, to string }
+
+type heldLock struct {
+	class string
+	stack []byte
+}
+
+var dep struct {
+	mu    sync.Mutex
+	edges map[lockEdge][]byte   // first-observation stack per edge
+	held  map[uint64][]heldLock // goroutine id -> held classes, in order
+}
+
+func init() {
+	dep.edges = make(map[lockEdge][]byte)
+	dep.held = make(map[uint64][]heldLock)
+}
+
+// ResetForTest clears the global edge graph and all held-sets so tests
+// that deliberately provoke lockdep panics do not poison later tests.
+func ResetForTest() {
+	dep.mu.Lock()
+	dep.edges = make(map[lockEdge][]byte)
+	dep.held = make(map[uint64][]heldLock)
+	dep.mu.Unlock()
+}
+
+// beforeAcquire validates and records one acquisition of class by the
+// current goroutine. blocking=false (a successful TryLock) skips the
+// order checks and records no incoming edge, because a non-blocking
+// acquire can never wait in a cycle.
+//
+// It must run before the caller blocks on the underlying mutex so an
+// inversion panics instead of deadlocking; on panic nothing has been
+// recorded, leaving the graph consistent for recover-based tests.
+func beforeAcquire(class string, blocking bool) {
+	if class == "" {
+		return // unclassed lock: invisible to lockdep
+	}
+	gid := goid()
+	stack := captureStack()
+	dep.mu.Lock()
+	held := dep.held[gid]
+	for _, h := range held {
+		if h.class == class {
+			msg := fmt.Sprintf("lockcheck: same-class double acquire of %q\n\n"+
+				"second acquisition (goroutine %d):\n%s\n"+
+				"first acquisition, still held:\n%s",
+				class, gid, stack, h.stack)
+			dep.mu.Unlock()
+			panic(msg)
+		}
+	}
+	if blocking {
+		for _, h := range held {
+			if estack, bad := pathStack(class, h.class); bad {
+				msg := fmt.Sprintf("lockcheck: lock order inversion: acquiring %q while holding %q, "+
+					"but %q -> %q was previously observed\n\n"+
+					"current acquisition (goroutine %d):\n%s\n"+
+					"holding %q since:\n%s\n"+
+					"conflicting %q -> %q acquisition:\n%s",
+					class, h.class, class, h.class,
+					gid, stack, h.class, heldStack(held, h.class), class, h.class, estack)
+				dep.mu.Unlock()
+				panic(msg)
+			}
+		}
+		for _, h := range held {
+			e := lockEdge{from: h.class, to: class}
+			if _, ok := dep.edges[e]; !ok {
+				dep.edges[e] = stack
+			}
+		}
+	}
+	dep.held[gid] = append(held, heldLock{class: class, stack: stack})
+	dep.mu.Unlock()
+}
+
+// afterRelease drops class from the current goroutine's held-set.
+func afterRelease(class string) {
+	if class == "" {
+		return
+	}
+	gid := goid()
+	dep.mu.Lock()
+	held := dep.held[gid]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class {
+			held = append(held[:i], held[i+1:]...)
+			break
+		}
+	}
+	if len(held) == 0 {
+		delete(dep.held, gid)
+	} else {
+		dep.held[gid] = held
+	}
+	dep.mu.Unlock()
+}
+
+// pathStack reports whether `to` is reachable from `from` in the observed
+// edge graph (meaning acquiring `to` while holding... i.e. the reverse of
+// the edge about to be created already exists, possibly transitively).
+// It returns the recorded stack of the first edge on one such path.
+// Caller holds dep.mu.
+func pathStack(from, to string) ([]byte, bool) {
+	if from == to {
+		return nil, false
+	}
+	seen := map[string]bool{from: true}
+	type frame struct {
+		class string
+		first []byte // stack of the first edge taken from `from`
+	}
+	queue := []frame{{class: from}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		for e, stk := range dep.edges {
+			if e.from != f.class || seen[e.to] {
+				continue
+			}
+			first := f.first
+			if first == nil {
+				first = stk
+			}
+			if e.to == to {
+				return first, true
+			}
+			seen[e.to] = true
+			queue = append(queue, frame{class: e.to, first: first})
+		}
+	}
+	return nil, false
+}
+
+// heldStack returns the stored acquisition stack for class in held.
+func heldStack(held []heldLock, class string) []byte {
+	for _, h := range held {
+		if h.class == class {
+			return h.stack
+		}
+	}
+	return nil
+}
+
+func captureStack() []byte {
+	buf := make([]byte, 8192)
+	n := runtime.Stack(buf, false)
+	return buf[:n]
+}
+
+// goid parses the current goroutine's id from the runtime.Stack header
+// ("goroutine 123 [running]:"). Slow, which is fine: lockdep is a debug
+// build.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := strings.TrimPrefix(string(buf[:n]), "goroutine ")
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseUint(s[:i], 10, 64); err == nil {
+			return id
+		}
+	}
+	return 0
+}

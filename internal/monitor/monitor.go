@@ -10,11 +10,11 @@ import (
 	"fmt"
 	"hash/fnv"
 	"reflect"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqlcm/internal/engine"
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/signature"
 	"sqlcm/internal/sqltypes"
 )
@@ -145,7 +145,9 @@ type SigCache struct {
 }
 
 type sigShard struct {
-	mu sync.Mutex
+	// mu protects the stripe's plan-signature map.
+	//sqlcm:lock monitor.sig
+	mu lockcheck.Mutex
 	m  map[interface{}]*Sigs
 	_  [40]byte // pad shards onto distinct cache lines
 }
@@ -154,6 +156,7 @@ type sigShard struct {
 func NewSigCache() *SigCache {
 	c := &SigCache{}
 	for i := range c.shards {
+		c.shards[i].mu.SetClass("monitor.sig")
 		c.shards[i].m = make(map[interface{}]*Sigs)
 	}
 	return c
@@ -384,7 +387,9 @@ type TxnTracker struct {
 }
 
 type txnShard struct {
-	mu sync.Mutex
+	// mu protects the stripe's per-transaction accumulators.
+	//sqlcm:lock monitor.txn
+	mu lockcheck.Mutex
 	m  map[int64]*txnAccum // by txn id
 	_  [40]byte            // pad shards onto distinct cache lines
 }
@@ -400,6 +405,7 @@ type txnAccum struct {
 func NewTxnTracker() *TxnTracker {
 	t := &TxnTracker{}
 	for i := range t.shards {
+		t.shards[i].mu.SetClass("monitor.txn")
 		t.shards[i].m = make(map[int64]*txnAccum)
 	}
 	return t

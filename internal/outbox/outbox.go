@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sqlcm/internal/lockcheck"
 )
 
 // Kind partitions jobs into independently queued and drained classes, so a
@@ -186,12 +188,15 @@ type Outbox struct {
 	closed  atomic.Bool
 	wg      sync.WaitGroup
 
-	dlMu sync.Mutex
+	// dlMu protects the dead-letter ring.
+	//sqlcm:lock outbox.deadletter
+	dlMu lockcheck.Mutex
 	dl   []DeadLetter
 	dlAt int
 
-	// rng feeds backoff jitter.
-	rngMu sync.Mutex
+	// rngMu protects rng, which feeds backoff jitter.
+	//sqlcm:lock outbox.rng
+	rngMu lockcheck.Mutex
 	rng   *rand.Rand
 }
 
@@ -203,6 +208,8 @@ func New(cfg Config) *Outbox {
 		stopNow: make(chan struct{}),
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	o.dlMu.SetClass("outbox.deadletter")
+	o.rngMu.SetClass("outbox.rng")
 	for k := range o.kinds {
 		o.kinds[k].queue = make(chan Job, cfg.QueueSize)
 		for w := 0; w < cfg.Workers; w++ {

@@ -9,11 +9,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqlcm/internal/lat"
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/monitor"
 	"sqlcm/internal/sqlparser"
 	"sqlcm/internal/sqltypes"
@@ -161,7 +161,8 @@ type Engine struct {
 
 	// writeMu serializes AddRule/RemoveRule/quarantine; idx is the
 	// published index.
-	writeMu sync.Mutex
+	//sqlcm:lock rules.write
+	writeMu lockcheck.Mutex
 	idx     atomic.Pointer[ruleIndex]
 
 	evaluations atomic.Int64
@@ -174,6 +175,7 @@ type Engine struct {
 // NewEngine creates a rule engine over env.
 func NewEngine(env Env) *Engine {
 	e := &Engine{env: env}
+	e.writeMu.SetClass("rules.write")
 	e.idx.Store(buildIndex(nil))
 	return e
 }

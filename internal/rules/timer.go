@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/monitor"
 )
 
@@ -22,7 +23,9 @@ type Dispatcher interface {
 type TimerManager struct {
 	dispatcher Dispatcher
 
-	mu     sync.Mutex
+	// mu protects the timer map and closed flag.
+	//sqlcm:lock rules.timer
+	mu     lockcheck.Mutex
 	timers map[string]*timerState
 	closed bool
 	// wg tracks every timer goroutine ever started (including ones
@@ -39,7 +42,9 @@ type timerState struct {
 
 // NewTimerManager creates a manager dispatching into d.
 func NewTimerManager(d Dispatcher) *TimerManager {
-	return &TimerManager{dispatcher: d, timers: make(map[string]*timerState)}
+	m := &TimerManager{dispatcher: d, timers: make(map[string]*timerState)}
+	m.mu.SetClass("rules.timer")
+	return m
 }
 
 // Set arms (or re-arms, or with count 0 disables) the named timer: count

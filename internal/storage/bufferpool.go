@@ -3,16 +3,19 @@ package storage
 import (
 	"container/list"
 	"fmt"
-	"sync"
+
+	"sqlcm/internal/lockcheck"
 )
 
 // Page is a buffer-pool frame holding one disk page. Callers must hold the
 // page pinned while reading or writing Data, and use the Latch for
 // concurrent access to the contents.
 type Page struct {
-	ID    PageID
-	Data  [PageSize]byte
-	Latch sync.RWMutex
+	ID   PageID
+	Data [PageSize]byte
+	// Latch guards Data for concurrent readers and writers.
+	//sqlcm:lock storage.page after storage.pool
+	Latch lockcheck.RWMutex
 
 	pins  int32
 	dirty bool
@@ -32,7 +35,9 @@ type PoolStats struct {
 type BufferPool struct {
 	disk DiskManager
 
-	mu       sync.Mutex
+	// mu protects the frame map, LRU list and counters.
+	//sqlcm:lock storage.pool after storage.heap
+	mu       lockcheck.Mutex
 	capacity int   // max resident pages
 	reserved int64 // bytes of capacity stolen by ReserveBytes
 	frames   map[PageID]*Page
@@ -46,12 +51,14 @@ func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &BufferPool{
+	bp := &BufferPool{
 		disk:     disk,
 		capacity: capacity,
 		frames:   make(map[PageID]*Page, capacity),
 		lru:      list.New(),
 	}
+	bp.mu.SetClass("storage.pool")
+	return bp
 }
 
 // Disk exposes the underlying disk manager.
@@ -94,6 +101,7 @@ func (bp *BufferPool) NewPage() (*Page, error) {
 		return nil, err
 	}
 	p := &Page{ID: id, pins: 1, dirty: true}
+	p.Latch.SetClass("storage.page")
 	bp.frames[id] = p
 	return p, nil
 }
@@ -116,6 +124,7 @@ func (bp *BufferPool) FetchPage(id PageID) (*Page, error) {
 		return nil, err
 	}
 	p := &Page{ID: id, pins: 1}
+	p.Latch.SetClass("storage.page")
 	// Publish the frame with its content latch held exclusively: the disk
 	// read happens outside the pool lock, and any concurrent fetcher of the
 	// same page blocks on the latch until the contents are loaded.

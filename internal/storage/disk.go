@@ -6,7 +6,8 @@ package storage
 import (
 	"fmt"
 	"os"
-	"sync"
+
+	"sqlcm/internal/lockcheck"
 )
 
 // PageSize is the size of every page in bytes.
@@ -34,12 +35,18 @@ type DiskManager interface {
 
 // MemDisk is an in-memory DiskManager, useful for tests.
 type MemDisk struct {
-	mu    sync.RWMutex
+	// mu protects the page slice.
+	//sqlcm:lock storage.disk after storage.page
+	mu    lockcheck.RWMutex
 	pages [][]byte
 }
 
 // NewMemDisk returns an empty in-memory disk.
-func NewMemDisk() *MemDisk { return &MemDisk{} }
+func NewMemDisk() *MemDisk {
+	d := &MemDisk{}
+	d.mu.SetClass("storage.disk")
+	return d
+}
 
 // ReadPage implements DiskManager.
 func (d *MemDisk) ReadPage(id PageID, buf []byte) error {
@@ -84,7 +91,9 @@ func (d *MemDisk) Close() error { return nil }
 // FileDisk is a DiskManager backed by a single OS file. Page i lives at
 // byte offset i*PageSize.
 type FileDisk struct {
-	mu   sync.Mutex
+	// mu protects the allocation cursor.
+	//sqlcm:lock storage.disk after storage.page
+	mu   lockcheck.Mutex
 	f    *os.File
 	next PageID
 }
@@ -100,7 +109,9 @@ func NewFileDisk(path string) (*FileDisk, error) {
 		f.Close()
 		return nil, err
 	}
-	return &FileDisk{f: f, next: PageID(st.Size() / PageSize)}, nil
+	d := &FileDisk{f: f, next: PageID(st.Size() / PageSize)}
+	d.mu.SetClass("storage.disk")
+	return d, nil
 }
 
 // ReadPage implements DiskManager.

@@ -2,7 +2,8 @@ package storage
 
 import (
 	"fmt"
-	"sync"
+
+	"sqlcm/internal/lockcheck"
 )
 
 // HeapFile stores variable-length records in a chain of slotted pages,
@@ -12,7 +13,9 @@ import (
 type HeapFile struct {
 	pool *BufferPool
 
-	mu    sync.Mutex
+	// mu protects the page chain and serializes file growth.
+	//sqlcm:lock storage.heap
+	mu    lockcheck.Mutex
 	pages []PageID // all pages of the file, in chain order
 	first PageID
 	last  PageID
@@ -21,6 +24,7 @@ type HeapFile struct {
 // NewHeapFile creates an empty heap file with one page.
 func NewHeapFile(pool *BufferPool) (*HeapFile, error) {
 	h := &HeapFile{pool: pool, first: InvalidPageID, last: InvalidPageID}
+	h.mu.SetClass("storage.heap")
 	p, err := pool.NewPage()
 	if err != nil {
 		return nil, err

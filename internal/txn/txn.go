@@ -10,11 +10,11 @@ package txn
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"sqlcm/internal/lock"
+	"sqlcm/internal/lockcheck"
 )
 
 // State is the lifecycle state of a transaction.
@@ -48,7 +48,9 @@ type Txn struct {
 	ID    lock.TxnID
 	Start time.Time
 
-	mu        sync.Mutex
+	// mu protects state and the undo log.
+	//sqlcm:lock txn.txn
+	mu        lockcheck.Mutex
 	state     State
 	undo      []func() error
 	cancelled atomic.Bool
@@ -94,13 +96,17 @@ type Manager struct {
 	locks *lock.Manager
 	seq   atomic.Int64
 
-	mu     sync.Mutex
+	// mu protects the active-transaction map.
+	//sqlcm:lock txn.active
+	mu     lockcheck.Mutex
 	active map[lock.TxnID]*Txn
 }
 
 // NewManager returns a transaction manager bound to the lock manager.
 func NewManager(locks *lock.Manager) *Manager {
-	return &Manager{locks: locks, active: make(map[lock.TxnID]*Txn)}
+	m := &Manager{locks: locks, active: make(map[lock.TxnID]*Txn)}
+	m.mu.SetClass("txn.active")
+	return m
 }
 
 // Locks exposes the lock manager.
@@ -114,6 +120,7 @@ func (m *Manager) Begin(implicit bool) *Txn {
 		state:    Active,
 		implicit: implicit,
 	}
+	t.mu.SetClass("txn.txn")
 	m.mu.Lock()
 	m.active[t.ID] = t
 	m.mu.Unlock()

@@ -13,14 +13,25 @@ cd "$(dirname "$0")/.."
 go build ./...
 
 # Lint tier: go vet, the in-repo analyzers (hot-path hygiene, rule-callback
-# recover discipline, rule-set static analysis), and pinned staticcheck
-# (offline-tolerant; see scripts/staticcheck.sh). All hard gates.
+# recover discipline, the //sqlcm:lock hierarchy checker, rule-set static
+# analysis), and pinned staticcheck (offline-tolerant; see
+# scripts/staticcheck.sh). docs/lock-order.md must be current relative to
+# the annotations. All hard gates.
 go vet ./...
 go run ./cmd/sqlcm-vet -code .
+go run ./cmd/sqlcm-vet -lockdoc .
 go run ./cmd/sqlcm-vet -mode strict examples/rulesets
 ./scripts/staticcheck.sh
 go test ./...
 go test -race ./...
 go test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 go test -race -count=1 ./internal/faults/ ./internal/outbox/
+
+# Lockdep tier: the same chaos and concurrency suites with the runtime
+# lock-order assertions compiled in. A single out-of-order acquisition
+# anywhere in these runs panics with both acquisition stacks.
+go test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/
+go test -tags sqlcmlockdep -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
+go test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
+
 go test -run='^$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/
