@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench ci
+.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench sim sim-long cover ci
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,22 @@ lockdep:
 # Regenerate docs/lock-order.md from the //sqlcm:lock annotations.
 lockdoc:
 	$(GO) run ./cmd/sqlcm-vet -lockdoc -write .
+
+# Sim tier: the deterministic simulation harness replays seeded workloads
+# through the real monitoring stack and a naive sequential oracle in
+# lockstep, comparing every journal entry and every LAT cell after every
+# event. 64 seeds across all three workload profiles, plus the golden
+# trace replays and the fault-injection/shrinker acceptance tests.
+sim:
+	SQLCM_SIM_SEEDS=64 $(GO) test -count=1 ./internal/sim/
+
+# Extended sweep for soak runs: more seeds, longer traces.
+sim-long:
+	SQLCM_SIM_SEEDS=256 SQLCM_SIM_EVENTS=1200 $(GO) test -count=1 -timeout 30m ./internal/sim/
+
+# Coverage floors for the packages the differential oracle leans on.
+cover:
+	./scripts/coverfloor.sh
 
 # Fuzz smoke: harden the {ref} substitution scanner.
 fuzz:

@@ -231,6 +231,12 @@ func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltype
 		}
 	}
 
+	// The QueryInfo must be complete before registerQuery publishes it:
+	// timer-driven rules iterate the active-query registry from alarm
+	// goroutines (Example 5's watchdog reads Logical through the signature
+	// cache), so every plain field is written before publication and only
+	// the atomic counters mutate afterwards.
+	instances := cp.instances.Add(1)
 	qi := &QueryInfo{
 		ID:        s.e.querySeq.Add(1),
 		SessionID: s.ID,
@@ -241,22 +247,19 @@ func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltype
 		StartTime: time.Now(),
 		TxnID:     t.ID,
 		Txn:       t,
+		// Plans come from the cache; signatures are computed by the monitor
+		// on first dispatch and cached with the plan (see monitor package).
+		Logical:       cp.logical,
+		Physical:      cp.physical,
+		EstimatedCost: cp.estCost,
+		OptimizeTime:  cp.optimize,
+		Instances:     instances,
+		PlanCacheHit:  instances > 1,
 	}
 	s.e.registerQuery(qi)
 	h := s.e.hooksRef()
 	if h != nil {
 		h.QueryStart(qi)
-	}
-
-	// Compile phase: plans come from the cache; signatures are computed by
-	// the monitor here and cached with the plan (see monitor package).
-	qi.Logical = cp.logical
-	qi.Physical = cp.physical
-	qi.EstimatedCost = cp.estCost
-	qi.OptimizeTime = cp.optimize
-	qi.Instances = cp.instances.Add(1)
-	qi.PlanCacheHit = qi.Instances > 1
-	if h != nil {
 		h.QueryCompiled(qi)
 	}
 

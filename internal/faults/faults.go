@@ -18,6 +18,32 @@ import (
 // ErrInjected is the error returned by every injected failure.
 var ErrInjected = errors.New("faults: injected failure")
 
+// aggSumDropEvery, when positive, makes every Nth SUM contribution across
+// all LATs silently vanish — a seeded aggregate bug for the simulation
+// harness's differential oracle to catch (and for its shrinker to reduce).
+var (
+	aggSumDropEvery atomic.Int64
+	aggSumDropTick  atomic.Int64
+)
+
+// SetAggSumDrop arms (n > 0) or disarms (n <= 0) the SUM-drop fault and
+// resets its contribution counter, so runs with the same workload drop the
+// same contributions.
+func SetAggSumDrop(n int) {
+	aggSumDropTick.Store(0)
+	aggSumDropEvery.Store(int64(n))
+}
+
+// AggSumDropped reports whether the current SUM contribution should be
+// dropped. One atomic load when the fault is disarmed.
+func AggSumDropped() bool {
+	every := aggSumDropEvery.Load()
+	if every <= 0 {
+		return false
+	}
+	return aggSumDropTick.Add(1)%every == 0
+}
+
 // Disk wraps a storage.DiskManager with injectable write failures and
 // latency. Reads are never failed (the engine's buffer pool treats read
 // errors as fatal; SQLCM's fail-safety covers the write side).

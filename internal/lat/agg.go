@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"sqlcm/internal/faults"
 	"sqlcm/internal/sqltypes"
 )
 
@@ -12,11 +13,20 @@ import (
 // maintain a bounded list of time blocks (the paper's block-based moving
 // window: values are grouped into blocks spanning Δ, and whole blocks age
 // out once older than the window t).
+//
+// Variance state (mean, m2) is kept with Welford's algorithm rather than a
+// sum-of-squares accumulator: (Σx² − (Σx)²/n)/(n−1) cancels catastrophically
+// once |x| ≫ stdev (at x ≈ 1e9 the subtraction loses every significant
+// digit of a single-digit variance), which the differential oracle caught
+// on seed 41's TxnStats.SdB column. SUM/AVG keep the plain running sum: its
+// result is bit-identical to a naive in-order recomputation, which the
+// simulation harness relies on for exact comparison.
 type aggState struct {
 	// non-aging scalar accumulators
 	count   int64
 	sum     float64
-	sumSq   float64
+	mean    float64
+	m2      float64
 	numeric int64
 	min     sqltypes.Value
 	max     sqltypes.Value
@@ -30,11 +40,15 @@ type aggState struct {
 }
 
 // agingBlock accumulates the values observed in one Δ-wide interval.
+// nonNull counts non-NULL observations (count includes NULLs, which
+// FIRST/LAST need for presence tracking).
 type agingBlock struct {
 	start   time.Time
 	count   int64
+	nonNull int64
 	sum     float64
-	sumSq   float64
+	mean    float64
+	m2      float64
 	numeric int64
 	min     sqltypes.Value
 	max     sqltypes.Value
@@ -68,9 +82,13 @@ func (a *aggState) add(spec *Spec, col *AggCol, v sqltypes.Value, now time.Time)
 	}
 	a.count++
 	if f, ok := v.AsFloat(); ok {
-		a.sum += f
-		a.sumSq += f * f
+		if !(col.Func == Sum && faults.AggSumDropped()) {
+			a.sum += f
+		}
 		a.numeric++
+		delta := f - a.mean
+		a.mean += delta / float64(a.numeric)
+		a.m2 += delta * (f - a.mean)
 	}
 	if !a.hasMM {
 		a.min, a.max = v, v
@@ -105,13 +123,13 @@ func (a *aggState) restoreFrom(spec *Spec, col *AggCol, v sqltypes.Value, now ti
 		a.count = v.Int()
 	case Sum, Avg:
 		if f, ok := v.AsFloat(); ok {
-			a.sum, a.sumSq = f, f*f
+			a.sum, a.mean, a.m2 = f, f, 0
 			a.count, a.numeric = 1, 1
 		}
 	case Stdev:
-		// Not reconstructible (needs n, Σx, Σx²): resume as one observation.
+		// Not reconstructible (needs n, mean, M2): resume as one observation.
 		if f, ok := v.AsFloat(); ok {
-			a.sum, a.sumSq = f, f*f
+			a.sum, a.mean, a.m2 = f, f, 0
 			a.count, a.numeric = 1, 1
 		}
 	case Min, Max:
@@ -144,10 +162,13 @@ func (a *aggState) addAging(spec *Spec, v sqltypes.Value, now time.Time) {
 	if v.IsNull() {
 		return
 	}
+	b.nonNull++
 	if f, ok := v.AsFloat(); ok {
 		b.sum += f
-		b.sumSq += f * f
 		b.numeric++
+		delta := f - b.mean
+		b.mean += delta / float64(b.numeric)
+		b.m2 += delta * (f - b.mean)
 	}
 	if !b.hasMM {
 		b.min, b.max = v, v
@@ -193,7 +214,7 @@ func (a *aggState) value(spec *Spec, col *AggCol, now time.Time) sqltypes.Value 
 		}
 		return sqltypes.NewFloat(a.sum / float64(a.numeric))
 	case Stdev:
-		return stdevOf(a.numeric, a.sum, a.sumSq)
+		return stdevOf(a.numeric, a.m2)
 	case Min:
 		return a.min
 	case Max:
@@ -209,17 +230,24 @@ func (a *aggState) value(spec *Spec, col *AggCol, now time.Time) sqltypes.Value 
 
 func (a *aggState) agingValue(spec *Spec, col *AggCol, now time.Time) sqltypes.Value {
 	a.expire(spec, now)
-	var count, numeric int64
-	var sum, sumSq float64
+	var count, nonNull, numeric int64
+	var sum, mean, m2 float64
 	mn, mx := sqltypes.Null, sqltypes.Null
 	first, last := sqltypes.Null, sqltypes.Null
 	hasMM, hasF := false, false
 	for i := range a.blocks {
 		b := &a.blocks[i]
 		count += b.count
-		numeric += b.numeric
+		nonNull += b.nonNull
 		sum += b.sum
-		sumSq += b.sumSq
+		if b.numeric > 0 {
+			// Chan et al. pairwise merge of per-block Welford states.
+			tot := numeric + b.numeric
+			delta := b.mean - mean
+			m2 += b.m2 + delta*delta*float64(numeric)*float64(b.numeric)/float64(tot)
+			mean += delta * float64(b.numeric) / float64(tot)
+			numeric = tot
+		}
 		if b.hasMM {
 			if !hasMM {
 				mn, mx = b.min, b.max
@@ -243,7 +271,14 @@ func (a *aggState) agingValue(spec *Spec, col *AggCol, now time.Time) sqltypes.V
 	}
 	switch col.Func {
 	case Count:
-		return sqltypes.NewInt(count)
+		if col.Attr == "" {
+			return sqltypes.NewInt(count)
+		}
+		// COUNT(attr) excludes NULLs, exactly like the non-aging path (which
+		// bumps count only after the null check). The aging path used to
+		// return the block presence counter — which includes NULLs — so the
+		// two variants of the same column could disagree.
+		return sqltypes.NewInt(nonNull)
 	case Sum:
 		if numeric == 0 {
 			return sqltypes.Null
@@ -255,7 +290,7 @@ func (a *aggState) agingValue(spec *Spec, col *AggCol, now time.Time) sqltypes.V
 		}
 		return sqltypes.NewFloat(sum / float64(numeric))
 	case Stdev:
-		return stdevOf(numeric, sum, sumSq)
+		return stdevOf(numeric, m2)
 	case Min:
 		return mn
 	case Max:
@@ -269,12 +304,11 @@ func (a *aggState) agingValue(spec *Spec, col *AggCol, now time.Time) sqltypes.V
 	}
 }
 
-func stdevOf(n int64, sum, sumSq float64) sqltypes.Value {
+func stdevOf(n int64, m2 float64) sqltypes.Value {
 	if n < 2 {
 		return sqltypes.Null
 	}
-	nf := float64(n)
-	variance := (sumSq - sum*sum/nf) / (nf - 1)
+	variance := m2 / float64(n-1)
 	if variance < 0 {
 		variance = 0
 	}

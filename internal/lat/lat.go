@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlcm/internal/clock"
 	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/sqltypes"
 )
@@ -311,6 +312,11 @@ func New(spec Spec) (*Table, error) {
 
 // SetClock injects a time source (tests).
 func (t *Table) SetClock(fn func() time.Time) { t.clock = fn }
+
+// SetClockSource injects a clock.Clock; aging windows and eviction
+// ordering then run against it (the simulation harness passes a virtual
+// clock here).
+func (t *Table) SetClockSource(c clock.Clock) { t.clock = c.Now }
 
 // SetOnEvict installs the eviction callback.
 func (t *Table) SetOnEvict(fn func(EvictedRow)) { t.onEvict.Store(fn) }

@@ -13,11 +13,31 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlcm/internal/clock"
 	"sqlcm/internal/engine"
 	"sqlcm/internal/lockcheck"
 	"sqlcm/internal/signature"
 	"sqlcm/internal/sqltypes"
 )
+
+// pkgClock is the time source behind live attributes (a running query's
+// Duration). It defaults to the wall clock; the simulation harness
+// substitutes a virtual clock via SetClockSource so in-flight durations
+// are deterministic. Stored atomically: probes read it on rule-evaluation
+// paths that run concurrently with test setup.
+var pkgClock atomic.Pointer[clock.Clock]
+
+func init() {
+	c := clock.System
+	pkgClock.Store(&c)
+}
+
+// SetClockSource replaces the package time source (tests and simulation
+// only; production keeps the default wall clock).
+func SetClockSource(c clock.Clock) { pkgClock.Store(&c) }
+
+// now reads the injected clock.
+func now() time.Time { return (*pkgClock.Load()).Now() }
 
 // Class names.
 const (
@@ -304,7 +324,7 @@ func (q *QueryObject) Get(attr string) (sqltypes.Value, bool) {
 	case "Duration":
 		d := q.DurationAt
 		if d < 0 {
-			d = time.Since(info.StartTime)
+			d = now().Sub(info.StartTime)
 		}
 		return sqltypes.NewFloat(d.Seconds()), true
 	case "Estimated_Cost":

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sqlcm/internal/clock"
 	"sqlcm/internal/lockcheck"
 )
 
@@ -95,6 +96,13 @@ type Config struct {
 	DrainTimeout time.Duration
 	// DeadLetterCap bounds the dead-letter ring (default 128).
 	DeadLetterCap int
+	// Clock is the time source for retry backoff, attempt deadlines and
+	// drain timeouts (default: the wall clock). The simulation harness
+	// injects a virtual clock so retry schedules are deterministic.
+	Clock clock.Clock
+	// Seed seeds the backoff-jitter RNG; 0 derives a seed from the clock
+	// (the production default), any other value makes jitter reproducible.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeadLetterCap <= 0 {
 		c.DeadLetterCap = 128
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System
 	}
 	return c
 }
@@ -178,6 +189,7 @@ type kindState struct {
 // Outbox is the async action executor. Safe for concurrent use.
 type Outbox struct {
 	cfg   Config
+	clk   clock.Clock
 	kinds [int(numKinds)]kindState
 
 	// pending counts accepted-but-unfinished jobs (queued + executing).
@@ -203,10 +215,15 @@ type Outbox struct {
 // New starts an outbox with its workers.
 func New(cfg Config) *Outbox {
 	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = cfg.Clock.Now().UnixNano()
+	}
 	o := &Outbox{
 		cfg:     cfg,
+		clk:     cfg.Clock,
 		stopNow: make(chan struct{}),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		rng:     rand.New(rand.NewSource(seed)),
 	}
 	o.dlMu.SetClass("outbox.deadletter")
 	o.rngMu.SetClass("outbox.rng")
@@ -263,7 +280,7 @@ func (o *Outbox) Close() error {
 	select {
 	case <-done:
 		return nil
-	case <-time.After(o.cfg.DrainTimeout):
+	case <-o.clk.After(o.cfg.DrainTimeout):
 		close(o.stopNow) // abort backoff waits and attempt waits
 		<-done
 		if n := o.Stats().Total(func(k KindStats) int64 { return k.Abandoned }); n > 0 {
@@ -277,12 +294,12 @@ func (o *Outbox) Close() error {
 // elapses), without closing the outbox. It reports whether the outbox is
 // idle. Tests and operators use it to observe a quiescent state.
 func (o *Outbox) Drain(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
+	deadline := o.clk.Now().Add(timeout)
 	for o.pending.Load() > 0 {
-		if time.Now().After(deadline) {
+		if o.clk.Now().After(deadline) {
 			return false
 		}
-		time.Sleep(time.Millisecond)
+		o.clk.Sleep(time.Millisecond)
 	}
 	return true
 }
@@ -356,7 +373,7 @@ func (o *Outbox) runJob(ks *kindState, job Job) {
 		}
 		ks.retries.Add(1)
 		select {
-		case <-time.After(o.backoff(attempt)):
+		case <-o.clk.After(o.backoff(attempt)):
 		case <-o.stopNow:
 			ks.abandoned.Add(1)
 			return
@@ -368,7 +385,7 @@ func (o *Outbox) runJob(ks *kindState, job Job) {
 		Label:    job.Label,
 		Err:      lastErr.Error(),
 		Attempts: o.cfg.MaxAttempts,
-		At:       time.Now(),
+		At:       o.clk.Now(),
 	})
 }
 
@@ -384,12 +401,12 @@ func (o *Outbox) attempt(ks *kindState, job Job) error {
 		}()
 		result <- job.Do()
 	}()
-	t := time.NewTimer(o.cfg.AttemptTimeout)
+	t := o.clk.NewTimer(o.cfg.AttemptTimeout)
 	defer t.Stop()
 	select {
 	case err := <-result:
 		return err
-	case <-t.C:
+	case <-t.C():
 		ks.timeouts.Add(1)
 		return fmt.Errorf("%w after %s (job %q)", ErrAttemptTimeout, o.cfg.AttemptTimeout, job.Label)
 	case <-o.stopNow:

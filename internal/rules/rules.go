@@ -169,7 +169,20 @@ type Engine struct {
 	fired       atomic.Int64
 	actionErrs  atomic.Int64
 
+	// observer, when installed, sees every rule evaluation in dispatch
+	// order (the simulation harness compares this stream against its
+	// sequential oracle). One atomic load on the hot path when unset.
+	observer atomic.Value // func(rule string, fired bool)
+
 	failsafeState
+}
+
+// SetEvalObserver installs (or with nil clears) a callback invoked after
+// every rule evaluation with the rule name and whether its condition held.
+// Invocations follow dispatch order; the callback runs synchronously on
+// the dispatching goroutine, so it must be cheap and must not dispatch.
+func (e *Engine) SetEvalObserver(fn func(rule string, fired bool)) {
+	e.observer.Store(fn)
 }
 
 // NewEngine creates a rule engine over env.
@@ -362,17 +375,29 @@ func (e *Engine) evalRule(r *Rule, ctx *Ctx) {
 		ok, err := e.runCond(r.cond, ctx)
 		if err != nil {
 			e.actionErrs.Add(1)
+			e.observe(r.Name, false)
 			return
 		}
 		if !ok {
+			e.observe(r.Name, false)
 			return
 		}
 	}
 	e.fired.Add(1)
+	e.observe(r.Name, true)
 	for _, a := range r.Actions {
 		if err := a.Run(e.env, ctx); err != nil {
 			e.actionErrs.Add(1)
 		}
+	}
+}
+
+// observe forwards one evaluation to the installed observer, if any.
+//
+//sqlcm:hotpath
+func (e *Engine) observe(rule string, fired bool) {
+	if fn, _ := e.observer.Load().(func(string, bool)); fn != nil {
+		fn(rule, fired)
 	}
 }
 

@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sqlcm/internal/workload"
+)
+
+// GenConfig shapes the seeded workload generator.
+type GenConfig struct {
+	Seed   int64
+	Events int
+	// Statements is the number of distinct logical signatures (Zipf-skewed,
+	// so a handful dominate). Default 40.
+	Statements int
+	// Users is the number of distinct users (Zipf-skewed). Default 12.
+	Users int
+	// Profile biases the event mix. The zero value is the balanced OLTP mix.
+	Profile Profile
+}
+
+// Profile selects a workload shape for the generator.
+type Profile uint8
+
+// Generator profiles.
+const (
+	ProfileOLTP    Profile = iota // query-heavy, Zipf-skewed signatures
+	ProfileBlocker                // elevated lock-wait traffic
+	ProfileTimer                  // timer churn and long time jumps
+)
+
+// weights returns cumulative percentage thresholds for
+// query/advance/block/txn/timerset/reset.
+func (p Profile) weights() [6]int {
+	switch p {
+	case ProfileBlocker:
+		return [6]int{35, 55, 85, 91, 96, 100}
+	case ProfileTimer:
+		return [6]int{30, 65, 70, 76, 97, 100}
+	default:
+		return [6]int{50, 75, 83, 90, 96, 100}
+	}
+}
+
+// Generate produces a deterministic trace: same config, same trace,
+// byte for byte.
+func Generate(cfg GenConfig) Trace {
+	if cfg.Statements == 0 {
+		cfg.Statements = 40
+	}
+	if cfg.Users == 0 {
+		cfg.Users = 12
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sig := workload.Zipf(r, 1.3, cfg.Statements)
+	user := workload.Zipf(r, 1.2, cfg.Users)
+	w := cfg.Profile.weights()
+	timers := []string{"rep", "gc", "watch"}
+	counts := []int{-1, 1, 2, 3, 5, 0}
+	resets := []string{"QStats", "BlockStats", "TxnStats", "TopUsers", "QRecent"}
+
+	out := make(Trace, 0, cfg.Events)
+	for len(out) < cfg.Events {
+		roll := r.Intn(100)
+		switch {
+		case roll < w[0]: // query
+			e := Ev{
+				Kind: EvQuery,
+				User: fmt.Sprintf("u%02d", user()),
+				Sig:  fmt.Sprintf("q%02d", sig()),
+			}
+			if r.Intn(50) == 0 {
+				e.DurNull = true // a probe that could not resolve Duration
+			} else {
+				ms := 1 + r.Intn(1800)
+				if r.Intn(12) == 0 {
+					ms += 1500 // heavy tail crossing the outlier threshold
+				}
+				e.Dur = float64(ms) / 1000
+			}
+			out = append(out, e)
+		case roll < w[1]: // advance
+			var d time.Duration
+			if r.Intn(10) == 0 {
+				// A long jump: expires whole aging windows at once.
+				d = time.Duration(5+r.Intn(10)) * time.Second
+			} else {
+				d = time.Duration(50+r.Intn(1950)) * time.Millisecond
+			}
+			out = append(out, Ev{Kind: EvAdvance, Delta: d})
+		case roll < w[2]: // block
+			out = append(out, Ev{
+				Kind:  EvBlock,
+				User:  fmt.Sprintf("u%02d", user()),
+				Sig:   fmt.Sprintf("q%02d", sig()),
+				BUser: fmt.Sprintf("u%02d", user()),
+				BSig:  fmt.Sprintf("q%02d", sig()),
+				Wait:  float64(10+r.Intn(490)) / 1000,
+			})
+		case roll < w[3]: // txn
+			out = append(out, Ev{
+				Kind:  EvTxn,
+				User:  fmt.Sprintf("u%02d", user()),
+				Dur:   float64(50+r.Intn(5000)) / 1000,
+				NQ:    int64(1 + r.Intn(20)),
+				Bytes: 1e9 + float64(r.Intn(100000))/100,
+			})
+		case roll < w[4]: // timer set
+			out = append(out, Ev{
+				Kind:   EvTimerSet,
+				Timer:  timers[r.Intn(len(timers))],
+				Period: time.Duration(300+r.Intn(1700)) * time.Millisecond,
+				Count:  counts[r.Intn(len(counts))],
+			})
+		default: // reset
+			out = append(out, Ev{Kind: EvReset, LAT: resets[r.Intn(len(resets))]})
+		}
+	}
+	return out
+}

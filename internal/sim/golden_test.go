@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace files")
+
+// goldenCases pins three recorded workloads. The stored fingerprint covers
+// the trace, the full effect journal and every final LAT row, so any
+// semantic drift in the LATs, the rule engine, the timer manager or the
+// virtual clock fails the replay — not just changes that happen to produce
+// a divergence.
+var goldenCases = []struct {
+	file   string
+	seed   int64
+	events int
+	prof   Profile
+}{
+	{"oltp_skew.trace", 101, 600, ProfileOLTP},
+	{"blocker_heavy.trace", 202, 600, ProfileBlocker},
+	{"timer_heavy.trace", 303, 600, ProfileTimer},
+}
+
+// TestGoldenReplay replays each recorded trace and requires a clean
+// differential run with the recorded fingerprint. Regenerate with
+// `go test ./internal/sim -run TestGoldenReplay -update`.
+func TestGoldenReplay(t *testing.T) {
+	for _, tc := range goldenCases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				trace := Generate(GenConfig{Seed: tc.seed, Events: tc.events, Profile: tc.prof})
+				res, err := Replay(Config{Seed: tc.seed, Events: tc.events, Profile: tc.prof}, trace)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Divergence != nil {
+					t.Fatalf("refusing to record a diverging golden: %s", res.Divergence)
+				}
+				if err := os.WriteFile(path, EncodeTraceFile(tc.file, trace, res.Fingerprint), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tf, err := LoadTraceFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tf.Trace) != tc.events {
+				t.Fatalf("golden has %d events, want %d", len(tf.Trace), tc.events)
+			}
+			res, err := Replay(Config{Seed: tc.seed, Events: tc.events, Profile: tc.prof}, tf.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Divergence != nil {
+				t.Fatalf("golden replay diverged: %s", res.Divergence)
+			}
+			if res.Fingerprint != tf.Fingerprint {
+				t.Fatalf("golden fingerprint drifted: got %016x, recorded %016x — monitoring semantics changed; "+
+					"if intentional, regenerate with -update", res.Fingerprint, tf.Fingerprint)
+			}
+		})
+	}
+}
+
+// TestGoldenMatchesGenerator: the stored traces are exactly what the
+// generator produces for their seed, so record/replay and generate/replay
+// are the same run.
+func TestGoldenMatchesGenerator(t *testing.T) {
+	for _, tc := range goldenCases {
+		tf, err := LoadTraceFile(filepath.Join("testdata", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := Generate(GenConfig{Seed: tc.seed, Events: tc.events, Profile: tc.prof})
+		if string(gen.Encode()) != string(tf.Trace.Encode()) {
+			t.Fatalf("%s: stored trace does not match generator output for seed %d", tc.file, tc.seed)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/sqltypes"
+)
+
+// Oracle is the sequential reference implementation of the monitoring
+// stack: naive LATs, a straight-line rule dispatcher (a slice walked in
+// registration order, conditions as hand-written closures), and a sorted
+// timer list. No latches, no heaps, no copy-on-write — the simplest code
+// that can implement the paper's semantics, checked against the real
+// engine after every simulated event.
+type Oracle struct {
+	now      time.Time
+	lats     map[string]*OracleLAT
+	latNames []string
+	rules    []*oRule
+	timers   oTimerList
+	armSeq   int64
+	journal  *Journal
+}
+
+// oCtx mirrors rules.Ctx for oracle evaluation.
+type oCtx struct {
+	objs    map[string]monitor.Object
+	primary monitor.Object
+}
+
+// attr resolves "Class.Name" against the class object, bare names against
+// the primary object — the same resolution as rules.Ctx.Attr.
+func (c *oCtx) attr(ref string) (sqltypes.Value, bool) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '.' {
+			if o, found := c.objs[ref[:i]]; found {
+				return o.Get(ref[i+1:])
+			}
+			return sqltypes.Null, false
+		}
+	}
+	if c.primary == nil {
+		return sqltypes.Null, false
+	}
+	return c.primary.Get(ref)
+}
+
+// oRule is one reference rule: a condition closure and action closures,
+// hand-written to mirror the declarative rule registered with the real
+// engine.
+type oRule struct {
+	name    string
+	event   monitor.Event
+	cond    func(o *Oracle, ctx *oCtx) bool
+	actions []func(o *Oracle, ctx *oCtx)
+}
+
+// oTimer is one armed reference timer, mirroring rules.timerState.
+type oTimer struct {
+	name     string
+	period   time.Duration
+	count    int
+	seq      int64
+	deadline time.Time
+	armSeq   int64
+}
+
+// oTimerList keeps armed timers; firing order is (deadline, armSeq), the
+// virtual clock's (deadline, registration) order.
+type oTimerList []*oTimer
+
+// NewOracle creates an empty oracle at start time.
+func NewOracle(start time.Time, j *Journal) *Oracle {
+	return &Oracle{now: start, lats: make(map[string]*OracleLAT), journal: j}
+}
+
+// AddLAT registers a reference LAT.
+func (o *Oracle) AddLAT(t *OracleLAT) {
+	o.lats[t.spec.Name] = t
+	o.latNames = append(o.latNames, t.spec.Name)
+}
+
+// LAT resolves a reference LAT.
+func (o *Oracle) LAT(name string) (*OracleLAT, bool) {
+	t, ok := o.lats[name]
+	return t, ok
+}
+
+// AddRule appends a reference rule (registration order is dispatch order).
+func (o *Oracle) AddRule(r *oRule) { o.rules = append(o.rules, r) }
+
+// Dispatch delivers one event sequentially: every matching rule in
+// registration order, condition then actions, journaling each evaluation
+// exactly as the real engine's observer does.
+func (o *Oracle) Dispatch(ev monitor.Event, objs map[string]monitor.Object) {
+	ctx := &oCtx{objs: objs, primary: objs[ev.Class]}
+	for _, r := range o.rules {
+		if r.event != ev {
+			continue
+		}
+		fired := r.cond == nil || r.cond(o, ctx)
+		o.journal.Add(fmt.Sprintf("eval:%s:%t", r.name, fired))
+		if !fired {
+			continue
+		}
+		for _, a := range r.actions {
+			a(o, ctx)
+		}
+	}
+}
+
+// insertLAT folds the context object into a reference LAT and delivers
+// any evictions as LATRow.Evicted events — the mirror of InsertAction plus
+// the table's eviction callback.
+func (o *Oracle) insertLAT(name string, ctx *oCtx) {
+	t := o.lats[name]
+	evicted, err := t.Insert(ctx.attr, o.now)
+	if err != nil {
+		o.journal.Add("err:insert:" + name)
+		return
+	}
+	for _, row := range evicted {
+		o.journal.Add("evict:" + row.Table + ":" + joinVals(row.Values))
+		o.Dispatch(monitor.EvLATRowEvicted, map[string]monitor.Object{
+			monitor.ClassLATRow: &monitor.LATRowObject{
+				LAT: row.Table, Columns: row.Columns, Values: row.Values,
+			},
+		})
+	}
+}
+
+// persistAttrs mirrors PersistAction with an attribute list.
+func (o *Oracle) persistAttrs(table string, attrs []string, ctx *oCtx) {
+	vals := make([]sqltypes.Value, len(attrs))
+	for i, ref := range attrs {
+		v, ok := ctx.attr(ref)
+		if !ok {
+			o.journal.Add("err:persist:" + table)
+			return
+		}
+		vals[i] = v
+	}
+	o.journal.Add("persist:" + table + ":" + joinVals(vals))
+}
+
+// persistFromLAT mirrors PersistAction with FromLAT: one persist per row,
+// most important first.
+func (o *Oracle) persistFromLAT(table, latName string) {
+	t := o.lats[latName]
+	for _, row := range t.Rows(o.now) {
+		o.journal.Add("persist:" + table + ":" + joinVals(row))
+	}
+}
+
+// setTimer mirrors TimerManager.Set: re-arming replaces the previous
+// schedule; count 0 disables.
+func (o *Oracle) setTimer(name string, period time.Duration, count int) {
+	for i, t := range o.timers {
+		if t.name == name {
+			o.timers = append(o.timers[:i], o.timers[i+1:]...)
+			break
+		}
+	}
+	if count == 0 {
+		return
+	}
+	o.armSeq++
+	o.timers = append(o.timers, &oTimer{
+		name: name, period: period, count: count,
+		deadline: o.now.Add(period), armSeq: o.armSeq,
+	})
+}
+
+// AdvanceTo moves reference time to target, firing due timers in
+// (deadline, arm-order) — the exact order the virtual clock fires the real
+// TimerManager's registrations.
+func (o *Oracle) AdvanceTo(target time.Time) {
+	for {
+		var next *oTimer
+		for _, t := range o.timers {
+			if t.deadline.After(target) {
+				continue
+			}
+			if next == nil || t.deadline.Before(next.deadline) ||
+				(t.deadline.Equal(next.deadline) && t.armSeq < next.armSeq) {
+				next = t
+			}
+		}
+		if next == nil {
+			if o.now.Before(target) {
+				o.now = target
+			}
+			return
+		}
+		if o.now.Before(next.deadline) {
+			o.now = next.deadline
+		}
+		next.seq++
+		o.journal.Add(fmt.Sprintf("alarm:%s:%d", next.name, next.seq))
+		o.Dispatch(monitor.EvTimerAlarm, map[string]monitor.Object{
+			monitor.ClassTimer: &monitor.TimerObject{Name: next.name, Now: o.now, Seq: next.seq},
+		})
+		// Mirror TimerManager.fire's post-dispatch re-arm: only if an action
+		// did not replace or disable this very schedule.
+		if o.timerCurrent(next) {
+			if next.count > 0 && int(next.seq) >= next.count {
+				o.removeTimer(next)
+			} else {
+				o.armSeq++
+				next.deadline = next.deadline.Add(next.period)
+				next.armSeq = o.armSeq
+			}
+		}
+	}
+}
+
+// timerCurrent reports whether t is still the armed schedule for its name.
+func (o *Oracle) timerCurrent(t *oTimer) bool {
+	for _, x := range o.timers {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// removeTimer drops t from the armed list.
+func (o *Oracle) removeTimer(t *oTimer) {
+	for i, x := range o.timers {
+		if x == t {
+			o.timers = append(o.timers[:i], o.timers[i+1:]...)
+			return
+		}
+	}
+}
+
+// joinVals renders a row for journaling.
+func joinVals(vals []sqltypes.Value) string {
+	out := ""
+	for i, v := range vals {
+		if i > 0 {
+			out += ","
+		}
+		out += v.String()
+	}
+	return out
+}

@@ -1,0 +1,447 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"sqlcm/internal/lat"
+	"sqlcm/internal/sqltypes"
+)
+
+// OracleLAT is the naive reference model of a LAT: it keeps the complete
+// observation history of every group and recomputes each aggregate — aging
+// windows, eviction order, everything — from scratch on demand. O(n) per
+// read and proud of it; correctness is the only job.
+//
+// Summation mirrors the real accumulator's fold order exactly (chronological
+// within a block, then block by block), so SUM/AVG compare bit-for-bit; only
+// STDEV is computed by an independent two-pass algorithm and compared with a
+// relative epsilon.
+type OracleLAT struct {
+	spec   lat.Spec
+	keys   []string // group keys in creation order
+	groups map[string]*oGroup
+}
+
+// oGroup is one group's full history.
+type oGroup struct {
+	groupVals []sqltypes.Value
+	obs       []oObs
+}
+
+// oObs is one insert: the per-aggregation-column source values resolved at
+// insert time (ok reports whether the attribute existed).
+type oObs struct {
+	at   time.Time
+	vals []sqltypes.Value
+	ok   []bool
+}
+
+// NewOracleLAT creates the reference model for a spec.
+func NewOracleLAT(spec lat.Spec) *OracleLAT {
+	return &OracleLAT{spec: spec, groups: make(map[string]*oGroup)}
+}
+
+// Insert folds one object in and returns any evictions, in eviction order.
+func (t *OracleLAT) Insert(get lat.AttrGetter, now time.Time) ([]lat.EvictedRow, error) {
+	groupVals := make([]sqltypes.Value, len(t.spec.GroupBy))
+	for i, attr := range t.spec.GroupBy {
+		v, ok := get(attr)
+		if !ok {
+			return nil, fmt.Errorf("oracle lat %s: object has no attribute %q", t.spec.Name, attr)
+		}
+		groupVals[i] = v
+	}
+	key := string(sqltypes.EncodeKey(groupVals...))
+	g := t.groups[key]
+	if g == nil {
+		g = &oGroup{groupVals: groupVals}
+		t.groups[key] = g
+		t.keys = append(t.keys, key)
+	}
+	ob := oObs{
+		at:   now,
+		vals: make([]sqltypes.Value, len(t.spec.Aggs)),
+		ok:   make([]bool, len(t.spec.Aggs)),
+	}
+	for i := range t.spec.Aggs {
+		col := &t.spec.Aggs[i]
+		if col.Attr == "" {
+			ob.vals[i], ob.ok[i] = sqltypes.Null, true
+			continue
+		}
+		ob.vals[i], ob.ok[i] = get(col.Attr)
+	}
+	g.obs = append(g.obs, ob)
+
+	var evicted []lat.EvictedRow
+	if t.spec.MaxRows > 0 {
+		for len(t.groups) > t.spec.MaxRows {
+			vk := t.victimKey(now)
+			victim := t.groups[vk]
+			evicted = append(evicted, lat.EvictedRow{
+				Table:   t.spec.Name,
+				Columns: t.spec.Columns(),
+				Values:  t.rowValues(victim, now),
+			})
+			delete(t.groups, vk)
+			for i, k := range t.keys {
+				if k == vk {
+					t.keys = append(t.keys[:i], t.keys[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return evicted, nil
+}
+
+// victimKey returns the least-important group under the ordering spec. The
+// fixtures guarantee a total order (a unique grouping column appears in
+// OrderBy), so the minimum is unique and map iteration order is irrelevant.
+func (t *OracleLAT) victimKey(now time.Time) string {
+	victim := ""
+	var victimOrd []sqltypes.Value
+	for _, k := range t.keys {
+		ord := t.orderVals(t.groups[k], now)
+		if victim == "" || lessImportant(t.spec.OrderBy, ord, victimOrd) {
+			victim, victimOrd = k, ord
+		}
+	}
+	return victim
+}
+
+// orderVals materializes a group's ordering-column values at now.
+func (t *OracleLAT) orderVals(g *oGroup, now time.Time) []sqltypes.Value {
+	out := make([]sqltypes.Value, len(t.spec.OrderBy))
+outer:
+	for i, o := range t.spec.OrderBy {
+		for gi, gc := range t.spec.GroupBy {
+			if gc == o.Col {
+				out[i] = g.groupVals[gi]
+				continue outer
+			}
+		}
+		for ai := range t.spec.Aggs {
+			if t.spec.Aggs[ai].Name == o.Col {
+				out[i] = t.colValue(g, ai, now)
+				continue outer
+			}
+		}
+		out[i] = sqltypes.Null
+	}
+	return out
+}
+
+// lessImportant mirrors the real table's eviction comparator: true when a
+// should be evicted before b.
+func lessImportant(order []lat.OrderKey, a, b []sqltypes.Value) bool {
+	for i, o := range order {
+		c := sqltypes.Compare(a[i], b[i])
+		if c == 0 {
+			continue
+		}
+		if o.Desc {
+			return c < 0
+		}
+		return c > 0
+	}
+	return false
+}
+
+// Reset clears the table.
+func (t *OracleLAT) Reset() {
+	t.groups = make(map[string]*oGroup)
+	t.keys = nil
+}
+
+// Lookup returns a group's output row at now.
+func (t *OracleLAT) Lookup(groupVals []sqltypes.Value, now time.Time) ([]sqltypes.Value, bool) {
+	g := t.groups[string(sqltypes.EncodeKey(groupVals...))]
+	if g == nil {
+		return nil, false
+	}
+	return t.rowValues(g, now), true
+}
+
+// LookupByGetter resolves grouping attributes through get and looks up.
+func (t *OracleLAT) LookupByGetter(get lat.AttrGetter, now time.Time) ([]sqltypes.Value, bool) {
+	groupVals := make([]sqltypes.Value, len(t.spec.GroupBy))
+	for i, attr := range t.spec.GroupBy {
+		v, ok := get(attr)
+		if !ok {
+			return nil, false
+		}
+		groupVals[i] = v
+	}
+	return t.Lookup(groupVals, now)
+}
+
+// ColumnIndex returns the position of an output column, or -1.
+func (t *OracleLAT) ColumnIndex(col string) int {
+	for i, c := range t.spec.Columns() {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowsMap returns every row at now, keyed by encoded group key.
+func (t *OracleLAT) RowsMap(now time.Time) map[string][]sqltypes.Value {
+	out := make(map[string][]sqltypes.Value, len(t.groups))
+	for k, g := range t.groups {
+		out[k] = t.rowValues(g, now)
+	}
+	return out
+}
+
+// Rows returns every row at now, most important first (the real table's
+// Rows order — only meaningful for totally ordered specs).
+func (t *OracleLAT) Rows(now time.Time) [][]sqltypes.Value {
+	out := make([][]sqltypes.Value, 0, len(t.groups))
+	for _, k := range t.keys {
+		out = append(out, t.rowValues(t.groups[k], now))
+	}
+	if len(t.spec.OrderBy) == 0 {
+		return out
+	}
+	idx := make([]int, len(t.spec.OrderBy))
+	for i, o := range t.spec.OrderBy {
+		idx[i] = t.ColumnIndex(o.Col)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		for k, o := range t.spec.OrderBy {
+			c := sqltypes.Compare(out[i][idx[k]], out[j][idx[k]])
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out
+}
+
+// rowValues materializes group columns then aggregate columns at now.
+func (t *OracleLAT) rowValues(g *oGroup, now time.Time) []sqltypes.Value {
+	out := make([]sqltypes.Value, 0, len(g.groupVals)+len(t.spec.Aggs))
+	out = append(out, g.groupVals...)
+	for i := range t.spec.Aggs {
+		out = append(out, t.colValue(g, i, now))
+	}
+	return out
+}
+
+// colValue recomputes one aggregate column from the group's full history.
+func (t *OracleLAT) colValue(g *oGroup, i int, now time.Time) sqltypes.Value {
+	col := &t.spec.Aggs[i]
+	if col.Aging {
+		return t.agingColValue(g, i, now)
+	}
+	var count, numeric int64
+	var sum float64
+	var floats []float64
+	mn, mx := sqltypes.Null, sqltypes.Null
+	first, last := sqltypes.Null, sqltypes.Null
+	hasMM, hasF := false, false
+	for _, ob := range g.obs {
+		if !ob.ok[i] {
+			continue
+		}
+		v := ob.vals[i]
+		// FIRST/LAST are set before the NULL check, exactly like the real
+		// accumulator: they retain NULL observations.
+		if !hasF {
+			first = v
+			hasF = true
+		}
+		last = v
+		if col.Func == lat.Count && col.Attr == "" {
+			count++
+			continue
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if f, fok := v.AsFloat(); fok {
+			sum += f
+			numeric++
+			floats = append(floats, f)
+		}
+		if !hasMM {
+			mn, mx = v, v
+			hasMM = true
+		} else {
+			if sqltypes.Compare(v, mn) < 0 {
+				mn = v
+			}
+			if sqltypes.Compare(v, mx) > 0 {
+				mx = v
+			}
+		}
+	}
+	return finishAgg(col.Func, count, numeric, sum, floats, mn, mx, first, last)
+}
+
+// oBlock is the oracle's reconstruction of one aging block.
+type oBlock struct {
+	start          time.Time
+	count, nonNull int64
+	numeric        int64
+	sum            float64
+	floats         []float64
+	mn, mx         sqltypes.Value
+	hasMM          bool
+	first, last    sqltypes.Value
+}
+
+// agingColValue recomputes an aging aggregate: the history is re-bucketed
+// into Δ-blocks, expired blocks (start+Δ before now−window) are dropped,
+// and the survivors are folded in the same order the real accumulator
+// folds them — per-block chronological sums, then block by block.
+func (t *OracleLAT) agingColValue(g *oGroup, i int, now time.Time) sqltypes.Value {
+	col := &t.spec.Aggs[i]
+	var blocks []*oBlock
+	for _, ob := range g.obs {
+		if !ob.ok[i] {
+			continue
+		}
+		v := ob.vals[i]
+		bs := ob.at.Truncate(t.spec.AgingBlock)
+		var b *oBlock
+		if n := len(blocks); n > 0 && !blocks[n-1].start.Before(bs) {
+			b = blocks[n-1]
+		} else {
+			b = &oBlock{start: bs, mn: sqltypes.Null, mx: sqltypes.Null,
+				first: sqltypes.Null, last: sqltypes.Null}
+			blocks = append(blocks, b)
+		}
+		if b.count == 0 {
+			b.first = v
+		}
+		b.last = v
+		b.count++
+		if v.IsNull() {
+			continue
+		}
+		b.nonNull++
+		if f, fok := v.AsFloat(); fok {
+			b.sum += f
+			b.numeric++
+			b.floats = append(b.floats, f)
+		}
+		if !b.hasMM {
+			b.mn, b.mx = v, v
+			b.hasMM = true
+		} else {
+			if sqltypes.Compare(v, b.mn) < 0 {
+				b.mn = v
+			}
+			if sqltypes.Compare(v, b.mx) > 0 {
+				b.mx = v
+			}
+		}
+	}
+
+	cutoff := now.Add(-t.spec.AgingWindow)
+	var count, numeric int64
+	var sum float64
+	var floats []float64
+	mn, mx := sqltypes.Null, sqltypes.Null
+	first, last := sqltypes.Null, sqltypes.Null
+	hasMM, hasF := false, false
+	for _, b := range blocks {
+		if b.start.Add(t.spec.AgingBlock).Before(cutoff) {
+			continue
+		}
+		if col.Func == lat.Count && col.Attr != "" {
+			count += b.nonNull
+		} else {
+			count += b.count
+		}
+		numeric += b.numeric
+		sum += b.sum
+		floats = append(floats, b.floats...)
+		if b.hasMM {
+			if !hasMM {
+				mn, mx = b.mn, b.mx
+				hasMM = true
+			} else {
+				if sqltypes.Compare(b.mn, mn) < 0 {
+					mn = b.mn
+				}
+				if sqltypes.Compare(b.mx, mx) > 0 {
+					mx = b.mx
+				}
+			}
+		}
+		if b.count > 0 {
+			if !hasF {
+				first = b.first
+				hasF = true
+			}
+			last = b.last
+		}
+	}
+	return finishAgg(col.Func, count, numeric, sum, floats, mn, mx, first, last)
+}
+
+// finishAgg turns folded accumulators into the output value.
+func finishAgg(fn lat.AggFunc, count, numeric int64, sum float64, floats []float64,
+	mn, mx, first, last sqltypes.Value) sqltypes.Value {
+	switch fn {
+	case lat.Count:
+		return sqltypes.NewInt(count)
+	case lat.Sum:
+		if numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(sum)
+	case lat.Avg:
+		if numeric == 0 {
+			return sqltypes.Null
+		}
+		return sqltypes.NewFloat(sum / float64(numeric))
+	case lat.Stdev:
+		return twoPassStdev(floats)
+	case lat.Min:
+		return mn
+	case lat.Max:
+		return mx
+	case lat.First:
+		return first
+	case lat.Last:
+		return last
+	default:
+		return sqltypes.Null
+	}
+}
+
+// twoPassStdev is the oracle's independent sample-stdev: mean first, then
+// squared deviations. Deliberately a different algorithm from the real
+// accumulator's Welford recurrence, so the two only agree when both are
+// numerically sound (compared with a relative epsilon).
+func twoPassStdev(xs []float64) sqltypes.Value {
+	n := len(xs)
+	if n < 2 {
+		return sqltypes.Null
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(n)
+	var m2 float64
+	for _, x := range xs {
+		d := x - mean
+		m2 += d * d
+	}
+	return sqltypes.NewFloat(math.Sqrt(m2 / float64(n-1)))
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"sqlcm/internal/lat"
+	"sqlcm/internal/monitor"
+	"sqlcm/internal/rules"
+	"sqlcm/internal/sqltypes"
+)
+
+// The standard scenario: six LATs and eleven rules exercising every moving
+// part the harness checks — all eight aggregate functions, aging windows,
+// bounded eviction with LATRow.Evicted cascades, LAT lookups in conditions
+// (including the missing-row ⇒ false path), object persists, LAT persists,
+// mail, and timers that re-arm timers from their own alarm dispatch.
+//
+// Two deliberate constraints keep the differential comparison exact:
+//   - Bounded LATs order by non-aging columns with a unique grouping column
+//     as the final key, so eviction priority is a total order and never
+//     depends on when order keys were snapshotted.
+//   - Conditions compare only raw attributes and integer LAT columns, never
+//     computed floats, so a one-ULP difference cannot flip a branch (it
+//     would surface in the row comparison instead, where STDEV alone gets
+//     an epsilon).
+
+// fixtureSpecs declares the scenario's LATs.
+func fixtureSpecs() []lat.Spec {
+	return []lat.Spec{
+		{
+			Name:    "QStats",
+			GroupBy: []string{"Logical_Signature"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "N"},
+				{Func: lat.Sum, Attr: "Duration", Name: "Total"},
+				{Func: lat.Avg, Attr: "Duration", Name: "AvgD"},
+				{Func: lat.Min, Attr: "Duration", Name: "MinD"},
+				{Func: lat.Max, Attr: "Duration", Name: "MaxD"},
+				{Func: lat.Stdev, Attr: "Duration", Name: "SdD"},
+				{Func: lat.First, Attr: "Duration", Name: "FirstD"},
+				{Func: lat.Last, Attr: "Duration", Name: "LastD"},
+			},
+		},
+		{
+			Name:    "QRecent",
+			GroupBy: []string{"Logical_Signature"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "NAll", Aging: true},
+				{Func: lat.Count, Attr: "Duration", Name: "NVal", Aging: true},
+				{Func: lat.Sum, Attr: "Duration", Name: "Total", Aging: true},
+				{Func: lat.Avg, Attr: "Duration", Name: "AvgD", Aging: true},
+				{Func: lat.Min, Attr: "Duration", Name: "MinD", Aging: true},
+				{Func: lat.Max, Attr: "Duration", Name: "MaxD", Aging: true},
+				{Func: lat.Stdev, Attr: "Duration", Name: "SdD", Aging: true},
+				{Func: lat.First, Attr: "Duration", Name: "FirstD", Aging: true},
+				{Func: lat.Last, Attr: "Duration", Name: "LastD", Aging: true},
+			},
+			AgingWindow: 10 * time.Second,
+			AgingBlock:  time.Second,
+		},
+		{
+			Name:    "TopUsers",
+			GroupBy: []string{"User"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "N"},
+				{Func: lat.Sum, Attr: "Duration", Name: "Total"},
+			},
+			OrderBy: []lat.OrderKey{{Col: "N", Desc: true}, {Col: "User"}},
+			MaxRows: 6,
+		},
+		{
+			Name:    "BlockStats",
+			GroupBy: []string{"Blocked.Logical_Signature"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "NB"},
+				{Func: lat.Sum, Attr: "Blocked.Wait_Time", Name: "TotalWait"},
+				{Func: lat.Max, Attr: "Blocked.Wait_Time", Name: "MaxWait"},
+			},
+		},
+		{
+			Name:    "TxnStats",
+			GroupBy: []string{"User"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "N"},
+				{Func: lat.Avg, Attr: "Duration", Name: "AvgDur"},
+				{Func: lat.Max, Attr: "Number_of_instances", Name: "MaxQ"},
+				{Func: lat.Stdev, Attr: "Bytes", Name: "SdB"},
+			},
+		},
+		{
+			Name:    "Ticks",
+			GroupBy: []string{"Name"},
+			Aggs: []lat.AggCol{
+				{Func: lat.Count, Name: "N"},
+				{Func: lat.Last, Attr: "Alarm_Count", Name: "LastSeq"},
+			},
+		},
+	}
+}
+
+// ruleDef pairs a declarative rule (for the real engine) with hand-written
+// closures implementing the same condition and actions (for the oracle).
+type ruleDef struct {
+	name     string
+	event    monitor.Event
+	cond     string // parsed with rules.ParseCondition; "" = always fire
+	actions  []rules.Action
+	oCond    func(o *Oracle, ctx *oCtx) bool
+	oActions []func(o *Oracle, ctx *oCtx)
+}
+
+// latInt reads an integer column of the oracle LAT row matching ctx, with
+// the engine's ∃-semantics: (0, false) when the row is missing.
+func latInt(o *Oracle, ctx *oCtx, latName, col string) (int64, bool) {
+	t := o.lats[latName]
+	row, ok := t.LookupByGetter(ctx.attr, o.now)
+	if !ok {
+		return 0, false
+	}
+	return row[t.ColumnIndex(col)].Int(), true
+}
+
+// attrFloat reads a float attribute; (0, false) when missing or NULL
+// (mirroring NULL-comparison ⇒ false filter semantics).
+func attrFloat(ctx *oCtx, ref string) (float64, bool) {
+	v, ok := ctx.attr(ref)
+	if !ok || v.IsNull() {
+		return 0, false
+	}
+	return v.Float(), true
+}
+
+// attrString reads a string attribute.
+func attrString(ctx *oCtx, ref string) string {
+	v, ok := ctx.attr(ref)
+	if !ok {
+		return ""
+	}
+	return v.String()
+}
+
+// oInsert returns an oracle action folding the context into a LAT.
+func oInsert(name string) func(o *Oracle, ctx *oCtx) {
+	return func(o *Oracle, ctx *oCtx) { o.insertLAT(name, ctx) }
+}
+
+// fixtureRules declares the scenario's rules in registration order.
+func fixtureRules() []ruleDef {
+	return []ruleDef{
+		{
+			name: "agg-qstats", event: monitor.EvQueryCommit,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "QStats"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("QStats")},
+		},
+		{
+			name: "agg-qrecent", event: monitor.EvQueryCommit,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "QRecent"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("QRecent")},
+		},
+		{
+			name: "agg-topusers", event: monitor.EvQueryCommit,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "TopUsers"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("TopUsers")},
+		},
+		{
+			name: "outlier", event: monitor.EvQueryCommit,
+			cond: "QStats.N >= 8 AND Duration > 1.5",
+			actions: []rules.Action{&rules.PersistAction{
+				Table: "outliers", Attrs: []string{"Logical_Signature", "Duration"},
+			}},
+			oCond: func(o *Oracle, ctx *oCtx) bool {
+				n, ok := latInt(o, ctx, "QStats", "N")
+				if !ok || n < 8 {
+					return false
+				}
+				d, ok := attrFloat(ctx, "Duration")
+				return ok && d > 1.5
+			},
+			oActions: []func(o *Oracle, ctx *oCtx){
+				func(o *Oracle, ctx *oCtx) {
+					o.persistAttrs("outliers", []string{"Logical_Signature", "Duration"}, ctx)
+				},
+			},
+		},
+		{
+			name: "agg-blocked", event: monitor.EvQueryBlocked,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "BlockStats"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("BlockStats")},
+		},
+		{
+			name: "blocked-hot", event: monitor.EvQueryBlocked,
+			cond: "BlockStats.NB >= 3 AND Blocked.Wait_Time > 0.2",
+			actions: []rules.Action{&rules.SendMailAction{
+				Address: "dba@sim", Text: "hot blocker {Blocked.Logical_Signature}",
+			}},
+			oCond: func(o *Oracle, ctx *oCtx) bool {
+				n, ok := latInt(o, ctx, "BlockStats", "NB")
+				if !ok || n < 3 {
+					return false
+				}
+				w, ok := attrFloat(ctx, "Blocked.Wait_Time")
+				return ok && w > 0.2
+			},
+			oActions: []func(o *Oracle, ctx *oCtx){
+				func(o *Oracle, ctx *oCtx) {
+					o.journal.Add("mail:dba@sim:hot blocker " + attrString(ctx, "Blocked.Logical_Signature"))
+				},
+			},
+		},
+		{
+			name: "agg-txn", event: monitor.EvTxnCommit,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "TxnStats"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("TxnStats")},
+		},
+		{
+			name: "evict-audit", event: monitor.EvLATRowEvicted,
+			cond: "N >= 2",
+			actions: []rules.Action{&rules.PersistAction{
+				Table: "evicted_users", Attrs: []string{"LAT", "User", "N", "Total"},
+			}},
+			oCond: func(o *Oracle, ctx *oCtx) bool {
+				v, ok := ctx.attr("N")
+				return ok && !v.IsNull() && v.Int() >= 2
+			},
+			oActions: []func(o *Oracle, ctx *oCtx){
+				func(o *Oracle, ctx *oCtx) {
+					o.persistAttrs("evicted_users", []string{"LAT", "User", "N", "Total"}, ctx)
+				},
+			},
+		},
+		{
+			name: "tick", event: monitor.EvTimerAlarm,
+			actions:  []rules.Action{&rules.InsertAction{LAT: "Ticks"}},
+			oActions: []func(o *Oracle, ctx *oCtx){oInsert("Ticks")},
+		},
+		{
+			name: "tick-chain", event: monitor.EvTimerAlarm,
+			cond: "Ticks.N = 2 AND Name = 'rep'",
+			actions: []rules.Action{&rules.SetTimerAction{
+				Timer: "chain", Period: 700 * time.Millisecond, Count: 2,
+			}},
+			oCond: func(o *Oracle, ctx *oCtx) bool {
+				n, ok := latInt(o, ctx, "Ticks", "N")
+				return ok && n == 2 && attrString(ctx, "Name") == "rep"
+			},
+			oActions: []func(o *Oracle, ctx *oCtx){
+				func(o *Oracle, ctx *oCtx) { o.setTimer("chain", 700*time.Millisecond, 2) },
+			},
+		},
+		{
+			name: "tick-report", event: monitor.EvTimerAlarm,
+			cond: "Ticks.N >= 4",
+			actions: []rules.Action{&rules.PersistAction{
+				Table: "tick_report", FromLAT: "TopUsers",
+			}},
+			oCond: func(o *Oracle, ctx *oCtx) bool {
+				n, ok := latInt(o, ctx, "Ticks", "N")
+				return ok && n >= 4
+			},
+			oActions: []func(o *Oracle, ctx *oCtx){
+				func(o *Oracle, ctx *oCtx) { o.persistFromLAT("tick_report", "TopUsers") },
+			},
+		},
+	}
+}
+
+// simObj is a static monitored object: a class plus a fixed attribute bag.
+// Both sides of the comparison share the same instances, so attribute
+// resolution cannot itself diverge.
+type simObj struct {
+	class string
+	attrs map[string]sqltypes.Value
+}
+
+// Class implements monitor.Object.
+func (o *simObj) Class() string { return o.class }
+
+// Get implements monitor.Object.
+func (o *simObj) Get(attr string) (sqltypes.Value, bool) {
+	v, ok := o.attrs[attr]
+	return v, ok
+}
+
+// parseRule compiles a ruleDef's declarative half for the real engine.
+func parseRule(d ruleDef) (*rules.Rule, error) {
+	cond, err := rules.ParseCondition(d.cond)
+	if err != nil {
+		return nil, fmt.Errorf("sim: rule %s: %w", d.name, err)
+	}
+	return &rules.Rule{Name: d.name, Event: d.event, Condition: cond, Actions: d.actions}, nil
+}

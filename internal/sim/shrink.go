@@ -1,0 +1,73 @@
+package sim
+
+// Shrink reduces a diverging trace to a short prefix that still diverges.
+// Two passes, both replaying candidates through fresh harnesses:
+//
+//  1. Truncate: the divergence was detected after some step i, so events
+//     past i are irrelevant — cut them.
+//  2. ddmin-lite: repeatedly try removing chunks (halving the chunk size
+//     down to single events) and keep any candidate that still diverges.
+//
+// Removal can only be kept when the shortened trace still diverges — the
+// check replays the whole candidate, so the result is always a genuine
+// witness, never an artifact of the shrinker itself.
+func Shrink(cfg Config, trace Trace) (Trace, *Divergence) {
+	d := replayDiv(cfg, trace)
+	if d == nil {
+		return nil, nil
+	}
+	// Pass 1: truncate to the step the divergence was detected at.
+	cur := append(Trace(nil), trace[:d.Step+1]...)
+	d = replayDiv(cfg, cur)
+	if d == nil {
+		// CheckEvery > 1 can detect late; fall back to the full trace.
+		cur = append(Trace(nil), trace...)
+		d = replayDiv(cfg, cur)
+		if d == nil {
+			return nil, nil
+		}
+	}
+
+	// Pass 2: ddmin-lite over shrinking chunk sizes.
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for {
+		removedAny := false
+		for start := 0; start < len(cur); {
+			end := start + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make(Trace, 0, len(cur)-(end-start))
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[end:]...)
+			if nd := replayDiv(cfg, cand); nd != nil {
+				cur, d = cand, nd
+				removedAny = true
+				// Do not advance start: the next chunk slid into this slot.
+			} else {
+				start = end
+			}
+		}
+		if removedAny {
+			continue // retry at the same granularity until a fixed point
+		}
+		if chunk == 1 {
+			break
+		}
+		chunk /= 2
+	}
+	return cur, d
+}
+
+// replayDiv replays a candidate through a fresh harness and returns its
+// divergence (nil when the candidate passes clean).
+func replayDiv(cfg Config, trace Trace) *Divergence {
+	res, err := Replay(cfg, trace)
+	if err != nil {
+		return nil
+	}
+	return res.Divergence
+}

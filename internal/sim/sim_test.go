@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// seedCount returns the sweep width: SQLCM_SIM_SEEDS when set (CI uses 64),
+// else a quick default for plain `go test`.
+func seedCount(t *testing.T, def int) int {
+	t.Helper()
+	if s := os.Getenv("SQLCM_SIM_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SQLCM_SIM_SEEDS=%q", s)
+		}
+		return n
+	}
+	return def
+}
+
+// eventCount returns the per-seed trace length: SQLCM_SIM_EVENTS when set
+// (the long sweep raises it), else def.
+func eventCount(t *testing.T, def int) int {
+	t.Helper()
+	if s := os.Getenv("SQLCM_SIM_EVENTS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad SQLCM_SIM_EVENTS=%q", s)
+		}
+		return n
+	}
+	return def
+}
+
+// TestHealthyRun drives each profile through the full differential harness
+// and requires zero divergence: every journal entry and every LAT cell on
+// the real side must match the naive oracle after every event.
+func TestHealthyRun(t *testing.T) {
+	for _, p := range []Profile{ProfileOLTP, ProfileBlocker, ProfileTimer} {
+		p := p
+		t.Run(fmt.Sprintf("profile%d", p), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Seed: 1, Events: 400, Profile: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Divergence != nil {
+				t.Fatalf("unexpected divergence: %s", res.Divergence)
+			}
+			if res.Steps != 400 {
+				t.Fatalf("ran %d steps, want 400", res.Steps)
+			}
+		})
+	}
+}
+
+// TestSeedSweep runs the differential check across many seeds and all
+// profiles. CI widens this with SQLCM_SIM_SEEDS=64.
+func TestSeedSweep(t *testing.T) {
+	seeds := seedCount(t, 8)
+	events := eventCount(t, 300)
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			p := Profile(seed % 3)
+			res, err := Run(Config{Seed: int64(seed), Events: events, Profile: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Divergence != nil {
+				t.Fatalf("seed %d profile %d diverged: %s", seed, p, res.Divergence)
+			}
+		})
+	}
+}
+
+// TestBitReproducible: same seed, same config ⇒ identical generated trace
+// and identical run fingerprint (journal + final LAT contents).
+func TestBitReproducible(t *testing.T) {
+	cfg := Config{Seed: 42, Events: 500, Profile: ProfileTimer}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Trace.Encode(), b.Trace.Encode()) {
+		t.Fatal("same seed produced different traces")
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same seed produced different fingerprints: %016x vs %016x",
+			a.Fingerprint, b.Fingerprint)
+	}
+	if a.Divergence != nil {
+		t.Fatalf("healthy run diverged: %s", a.Divergence)
+	}
+}
+
+// TestCheckCadence: a sparser check cadence must reach the same verdict on
+// a healthy run (the final off-cadence check still runs).
+func TestCheckCadence(t *testing.T) {
+	res, err := Run(Config{Seed: 7, Events: 251, CheckEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergence != nil {
+		t.Fatalf("unexpected divergence: %s", res.Divergence)
+	}
+}
+
+// TestTraceRoundTrip: encode → decode is the identity on generated traces.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := Generate(GenConfig{Seed: 3, Events: 200, Profile: ProfileBlocker})
+	enc := EncodeTraceFile("roundtrip", tr, tr.Hash())
+	tf, err := DecodeTrace(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tf.Fingerprint != tr.Hash() {
+		t.Fatalf("fingerprint lost in round trip")
+	}
+	if !bytes.Equal(tf.Trace.Encode(), tr.Encode()) {
+		t.Fatal("trace mutated in round trip")
+	}
+}

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EvKind enumerates simulated event kinds.
+type EvKind uint8
+
+// The simulated event kinds.
+const (
+	EvQuery    EvKind = iota // a statement commits
+	EvBlock                  // a statement blocks on a lock
+	EvTxn                    // a transaction commits
+	EvTimerSet               // an operator arms/disables a timer
+	EvAdvance                // virtual time advances (timers may fire)
+	EvReset                  // an operator resets a LAT
+)
+
+// Ev is one simulated event. Which fields are meaningful depends on Kind.
+type Ev struct {
+	Kind    EvKind
+	User    string        // EvQuery, EvBlock (blocked side), EvTxn
+	Sig     string        // EvQuery, EvBlock (blocked side): logical signature
+	Dur     float64       // EvQuery, EvTxn: duration in seconds
+	DurNull bool          // EvQuery: the Duration attribute is NULL
+	BUser   string        // EvBlock: blocker's user
+	BSig    string        // EvBlock: blocker's signature
+	Wait    float64       // EvBlock: lock wait in seconds
+	NQ      int64         // EvTxn: statements in the transaction
+	Bytes   float64       // EvTxn: bytes written (large-magnitude, for STDEV)
+	Timer   string        // EvTimerSet
+	Period  time.Duration // EvTimerSet
+	Count   int           // EvTimerSet
+	Delta   time.Duration // EvAdvance
+	LAT     string        // EvReset
+}
+
+// Trace is a replayable event sequence.
+type Trace []Ev
+
+// String renders one event in the trace file format.
+func (e Ev) String() string {
+	switch e.Kind {
+	case EvQuery:
+		d := "~"
+		if !e.DurNull {
+			d = fmtFloat(e.Dur)
+		}
+		return fmt.Sprintf("q %s %s %s", e.User, e.Sig, d)
+	case EvBlock:
+		return fmt.Sprintf("b %s %s %s %s %s", e.User, e.Sig, e.BUser, e.BSig, fmtFloat(e.Wait))
+	case EvTxn:
+		return fmt.Sprintf("t %s %s %d %s", e.User, fmtFloat(e.Dur), e.NQ, fmtFloat(e.Bytes))
+	case EvTimerSet:
+		return fmt.Sprintf("s %s %s %d", e.Timer, e.Period, e.Count)
+	case EvAdvance:
+		return fmt.Sprintf("a %s", e.Delta)
+	case EvReset:
+		return fmt.Sprintf("r %s", e.LAT)
+	default:
+		return fmt.Sprintf("? %d", e.Kind)
+	}
+}
+
+// fmtFloat renders a float so it round-trips exactly.
+func fmtFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Encode renders the trace in its line format (no header).
+func (t Trace) Encode() []byte {
+	var b bytes.Buffer
+	for _, e := range t {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// Hash is a stable FNV-64a fingerprint of the encoded trace.
+func (t Trace) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(t.Encode()) //nolint:errcheck
+	return h.Sum64()
+}
+
+// parseEv parses one encoded event line.
+func parseEv(line string) (Ev, error) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return Ev{}, fmt.Errorf("sim: empty event line")
+	}
+	bad := func() (Ev, error) { return Ev{}, fmt.Errorf("sim: bad event line %q", line) }
+	switch f[0] {
+	case "q":
+		if len(f) != 4 {
+			return bad()
+		}
+		e := Ev{Kind: EvQuery, User: f[1], Sig: f[2]}
+		if f[3] == "~" {
+			e.DurNull = true
+		} else {
+			d, err := strconv.ParseFloat(f[3], 64)
+			if err != nil {
+				return bad()
+			}
+			e.Dur = d
+		}
+		return e, nil
+	case "b":
+		if len(f) != 6 {
+			return bad()
+		}
+		w, err := strconv.ParseFloat(f[5], 64)
+		if err != nil {
+			return bad()
+		}
+		return Ev{Kind: EvBlock, User: f[1], Sig: f[2], BUser: f[3], BSig: f[4], Wait: w}, nil
+	case "t":
+		if len(f) != 5 {
+			return bad()
+		}
+		d, err1 := strconv.ParseFloat(f[2], 64)
+		nq, err2 := strconv.ParseInt(f[3], 10, 64)
+		by, err3 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return bad()
+		}
+		return Ev{Kind: EvTxn, User: f[1], Dur: d, NQ: nq, Bytes: by}, nil
+	case "s":
+		if len(f) != 4 {
+			return bad()
+		}
+		p, err1 := time.ParseDuration(f[2])
+		n, err2 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		return Ev{Kind: EvTimerSet, Timer: f[1], Period: p, Count: n}, nil
+	case "a":
+		if len(f) != 2 {
+			return bad()
+		}
+		d, err := time.ParseDuration(f[1])
+		if err != nil {
+			return bad()
+		}
+		return Ev{Kind: EvAdvance, Delta: d}, nil
+	case "r":
+		if len(f) != 2 {
+			return bad()
+		}
+		return Ev{Kind: EvReset, LAT: f[1]}, nil
+	default:
+		return bad()
+	}
+}
+
+// TraceFile is a stored trace plus its recorded run fingerprint.
+type TraceFile struct {
+	Trace       Trace
+	Fingerprint uint64 // 0 when the file carries none
+}
+
+// DecodeTrace parses the trace file format: '#'-prefixed comment lines
+// (one of which may carry "# fingerprint <hex>") followed by event lines.
+func DecodeTrace(data []byte) (TraceFile, error) {
+	var out TraceFile
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.Fields(strings.TrimPrefix(line, "#"))
+			if len(rest) == 2 && rest[0] == "fingerprint" {
+				fp, err := strconv.ParseUint(rest[1], 16, 64)
+				if err != nil {
+					return out, fmt.Errorf("sim: bad fingerprint line %q", line)
+				}
+				out.Fingerprint = fp
+			}
+			continue
+		}
+		e, err := parseEv(line)
+		if err != nil {
+			return out, err
+		}
+		out.Trace = append(out.Trace, e)
+	}
+	return out, sc.Err()
+}
+
+// EncodeTraceFile renders a trace with a header and recorded fingerprint.
+func EncodeTraceFile(name string, t Trace, fingerprint uint64) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# sqlcm sim trace v1: %s\n", name)
+	fmt.Fprintf(&b, "# fingerprint %016x\n", fingerprint)
+	b.Write(t.Encode())
+	return b.Bytes()
+}
+
+// LoadTraceFile reads and parses a stored trace.
+func LoadTraceFile(path string) (TraceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return TraceFile{}, err
+	}
+	return DecodeTrace(data)
+}

@@ -140,6 +140,16 @@ func insert(sess *engine.Session, sql string, params map[string]sqltypes.Value) 
 	return err
 }
 
+// Zipf returns a deterministic sampler of ranks in [0, n) with skew s
+// (s > 1; larger is more skewed). Both the §6.2 mix and the simulation
+// harness's trace generator use it to produce the hot-statement/hot-user
+// distributions real monitoring workloads exhibit: a few signatures absorb
+// most events while a long tail keeps creating new LAT groups.
+func Zipf(r *rand.Rand, s float64, n int) func() int {
+	z := rand.NewZipf(r, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
 // Query is one workload statement with bound parameters.
 type Query struct {
 	SQL    string

@@ -34,4 +34,16 @@ go test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/la
 go test -tags sqlcmlockdep -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 go test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
 
+# Sim tier: the deterministic simulation harness. Seeded workloads replay
+# through the real monitoring stack and a naive sequential oracle in
+# lockstep; every journal entry and every LAT cell must match after every
+# event, across 64 seeds and all three workload profiles. Includes the
+# golden trace replays (pinned run fingerprints) and the acceptance check
+# that an injected aggregate fault is caught and shrunk to a tiny witness.
+SQLCM_SIM_SEEDS=64 go test -count=1 ./internal/sim/
+
+# Coverage floors: internal/lat and internal/rules may not drop below the
+# percentages recorded when the differential oracle was introduced.
+./scripts/coverfloor.sh
+
 go test -run='^$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/
