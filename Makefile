@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench sim sim-long cover ci
+.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
 
 build:
 	$(GO) build ./...
@@ -43,7 +43,7 @@ chaos:
 # verifies docs/lock-order.md is current.
 lockdep:
 	$(GO) run ./cmd/sqlcm-vet -lockdoc .
-	$(GO) test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/
+	$(GO) test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/ ./internal/engine/ ./internal/server/
 	$(GO) test -tags sqlcmlockdep -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 	$(GO) test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
 
@@ -73,6 +73,18 @@ fuzz:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1000x ./...
+
+# Committed benchmark snapshot: monitoring hot paths (event dispatch,
+# LAT observe) plus wire-level load percentiles at a fixed connection
+# count, monitoring on vs off. Full run; see BENCH_6.json.
+bench-json:
+	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_6.json
+
+# Loopback smoke tier: a short open-loop load run (internal/loadgen)
+# against an in-process network front-end under -race — nonzero
+# throughput, zero statement errors, clean graceful drain.
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke ./internal/loadgen/
 
 ci:
 	./scripts/ci.sh

@@ -1,0 +1,106 @@
+// Command sqlcm-serve runs the monitored engine behind the network
+// front-end (internal/server): a TCP server speaking the PostgreSQL-v3-
+// style wire protocol, one engine session per connection, with the
+// monitoring framework attached inside the engine.
+//
+// Usage:
+//
+//	sqlcm-serve -addr :5477                        # serve, monitoring on
+//	sqlcm-serve -addr :5477 -monitor=false         # monitoring suspended
+//	sqlcm-serve -rules examples/rulesets/quickstart.rules
+//	sqlcm-serve -lineitems 10000                   # preload workload schema
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: stop accepting, let
+// in-flight statements finish under -drain-timeout, then drain the
+// monitoring action outbox before exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sqlcm"
+	"sqlcm/internal/server"
+	"sqlcm/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5477", "TCP listen address")
+	maxConns := flag.Int("max-conns", 2000, "maximum concurrent connections")
+	monitor := flag.Bool("monitor", true, "enable continuous monitoring (false suspends all probes)")
+	rulesFile := flag.String("rules", "", "load a .rules rule set at startup")
+	password := flag.String("password", "", "require cleartext-password auth with this password")
+	lineitems := flag.Int("lineitems", 0, "preload the workload schema with this many lineitem rows (0 = none)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "per-connection idle/read timeout")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
+	flag.Parse()
+
+	if err := run(*addr, *maxConns, *monitor, *rulesFile, *password, *lineitems, *readTimeout, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sqlcm-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxConns int, monitor bool, rulesFile, password string, lineitems int, readTimeout, drainTimeout time.Duration) error {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		return err
+	}
+	defer db.Close() //nolint:errcheck
+
+	if rulesFile != "" {
+		src, err := os.ReadFile(rulesFile)
+		if err != nil {
+			return err
+		}
+		if err := db.LoadRuleSet(string(src)); err != nil {
+			return fmt.Errorf("rules %s: %w", rulesFile, err)
+		}
+		fmt.Printf("loaded rule set %s\n", rulesFile)
+	}
+	if !monitor {
+		db.Monitor().Suspend()
+		fmt.Println("monitoring suspended")
+	}
+	if lineitems > 0 {
+		start := time.Now()
+		cfg, err := workload.Setup(db.Engine(), workload.Config{Lineitems: lineitems})
+		if err != nil {
+			return fmt.Errorf("workload setup: %w", err)
+		}
+		fmt.Printf("workload schema loaded: %d lineitem, %d orders, %d part rows in %v\n",
+			cfg.Lineitems, cfg.Orders, cfg.Parts, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:         addr,
+		MaxConns:     maxConns,
+		ReadTimeout:  readTimeout,
+		DrainTimeout: drainTimeout,
+		Password:     password,
+		NewSession:   db.RemoteSession,
+		Drain:        db.Flush,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s (max %d connections, monitoring=%v)\n", srv.Addr(), maxConns, monitor)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down...")
+	if err := srv.Shutdown(drainTimeout); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("served %d connections, %d statements (%d errors)\n", st.Accepted, st.Statements, st.Errors)
+	return nil
+}

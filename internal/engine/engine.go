@@ -78,6 +78,11 @@ type Engine struct {
 	querySeq   atomic.Int64
 	sessionSeq atomic.Int64
 	closed     atomic.Bool
+
+	// planGen counts plan-cache invalidations (DDL). Prepared statements
+	// snapshot it and re-plan when it moves, so a handle never executes a
+	// plan compiled against dropped or re-indexed schema.
+	planGen atomic.Int64
 }
 
 type cachedPlan struct {
@@ -372,6 +377,7 @@ func (e *Engine) invalidatePlans() {
 	e.planMu.Lock()
 	e.planCache = make(map[string]*cachedPlan)
 	e.planMu.Unlock()
+	e.planGen.Add(1)
 }
 
 // PlanCacheSize returns the number of cached plans.

@@ -28,9 +28,15 @@ type QueryInfo struct {
 	SessionID int64
 	User      string
 	App       string
-	Text      string
-	Type      QueryType
-	StartTime time.Time
+	// RemoteAddr is the client address of the owning session ("" for
+	// embedded sessions); SessionStart is when that session connected.
+	// Together they feed the connection-scoped probes (Remote_Addr,
+	// Connect_Time, Session_Age) so rules can target connections.
+	RemoteAddr   string
+	SessionStart time.Time
+	Text         string
+	Type         QueryType
+	StartTime    time.Time
 
 	// Populated at compile time (after optimization).
 	Logical       plan.Logical

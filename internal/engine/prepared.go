@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+
+	"sqlcm/internal/sqltypes"
+)
+
+// Prepared is a server-side prepared statement: one parse/plan, many
+// executions with different parameter bindings. The handle shares the
+// engine-wide cached plan for its text, so the monitor's signature cache
+// computes the statement's signatures exactly once no matter how many
+// sessions or connections prepare it (§4.2's compute-once discipline,
+// extended across the wire). A handle belongs to the session that prepared
+// it and follows the same single-goroutine contract.
+type Prepared struct {
+	s   *Session
+	sql string
+	cp  *cachedPlan
+	gen int64 // engine plan generation the plan was compiled under
+	// names lists the statement's parameter names (@name placeholders) in
+	// first-appearance order; wire protocols bind positional values
+	// through it.
+	names []string
+}
+
+// Prepare parses and plans one statement for repeated execution.
+func (s *Session) Prepare(sql string) (*Prepared, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.leave()
+	if s.e.closed.Load() {
+		return nil, errClosed
+	}
+	cp, _, err := s.e.getPlan(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{
+		s:     s,
+		sql:   sql,
+		cp:    cp,
+		gen:   s.e.planGen.Load(),
+		names: ScanParamNames(sql),
+	}, nil
+}
+
+// SQL returns the statement text.
+func (p *Prepared) SQL() string { return p.sql }
+
+// ParamNames returns the statement's parameter names in first-appearance
+// order (without the leading '@').
+func (p *Prepared) ParamNames() []string { return append([]string(nil), p.names...) }
+
+// Exec runs the prepared statement with the given parameter bindings.
+func (p *Prepared) Exec(params map[string]sqltypes.Value) (*Result, error) {
+	s := p.s
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.leave()
+	if s.e.closed.Load() {
+		return nil, errClosed
+	}
+	// DDL since Prepare invalidated the plan cache: re-plan against the
+	// current schema before executing (the text, not the plan, is the
+	// durable part of the handle).
+	if gen := s.e.planGen.Load(); gen != p.gen {
+		cp, _, err := s.e.getPlan(p.sql)
+		if err != nil {
+			return nil, fmt.Errorf("engine: re-preparing %q: %w", p.sql, err)
+		}
+		p.cp, p.gen = cp, gen
+	}
+	return s.execPlanned(p.cp, p.sql, params)
+}
+
+// ScanParamNames extracts the @name parameter placeholders of a statement
+// in first-appearance order, skipping string literals. It is lexical on
+// purpose: the scan must agree with what the parser treats as a parameter
+// without compiling the statement (wire front-ends describe parameters
+// before planning).
+func ScanParamNames(sql string) []string {
+	var names []string
+	seen := map[string]bool{}
+	inStr := false
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		if inStr {
+			if c == '\'' {
+				inStr = false
+			}
+			continue
+		}
+		switch {
+		case c == '\'':
+			inStr = true
+		case c == '@':
+			j := i + 1
+			for j < len(sql) && isParamChar(sql[j]) {
+				j++
+			}
+			if j > i+1 {
+				name := sql[i+1 : j]
+				if !seen[name] {
+					seen[name] = true
+					names = append(names, name)
+				}
+				i = j - 1
+			}
+		}
+	}
+	return names
+}
+
+// isParamChar reports whether c may appear in a parameter name.
+func isParamChar(c byte) bool {
+	return c == '_' || (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

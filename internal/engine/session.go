@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"sqlcm/internal/catalog"
@@ -15,21 +16,115 @@ import (
 )
 
 // Session is a client connection to the engine. Sessions are not safe for
-// concurrent use; open one session per goroutine.
+// concurrent use; open one session per goroutine. The contract is enforced
+// cheaply at every entry point (Exec, Prepare, Prepared.Exec, Close): a
+// second goroutine entering while a statement is in flight gets
+// ErrConcurrentUse instead of a silent race. Network front-ends that hand
+// a session to one connection goroutine additionally call PinOwner so the
+// lockdep build can assert single-goroutine ownership for the session's
+// whole lifetime.
 type Session struct {
 	ID   int64
 	User string
 	App  string
+	// RemoteAddr is the client address for sessions opened by the network
+	// front-end ("" for embedded sessions). It feeds the Remote_Addr probe.
+	RemoteAddr string
+	// ConnectTime is when the session was opened; the Session_Age probe is
+	// measured against it.
+	ConnectTime time.Time
 
 	e      *Engine
 	tx     *txn.Txn // explicit transaction, nil in autocommit mode
 	txInfo *TxnInfo
+
+	// busy serializes session entry points: 0 idle, 1 a statement (or
+	// Close) is in flight. A plain atomic rather than a mutex so a
+	// violation is reported as an error, never a wait.
+	busy   atomic.Int32
+	closed atomic.Bool
+	owner  ownerGuard // lockdep-build owner-goroutine assertion
 }
 
 // NewSession opens a session for the given user and application name (both
 // are monitoring probes).
 func (e *Engine) NewSession(user, app string) *Session {
-	return &Session{ID: e.sessionSeq.Add(1), User: user, App: app, e: e}
+	return e.NewRemoteSession(user, app, "")
+}
+
+// NewRemoteSession opens a session on behalf of a network client; remote
+// is the client address exposed by the Remote_Addr probe so rules can
+// target connections.
+func (e *Engine) NewRemoteSession(user, app, remote string) *Session {
+	return &Session{
+		ID:          e.sessionSeq.Add(1),
+		User:        user,
+		App:         app,
+		RemoteAddr:  remote,
+		ConnectTime: time.Now(),
+		e:           e,
+	}
+}
+
+// ErrConcurrentUse is returned when a second goroutine enters a session
+// while a statement is already in flight on it.
+var ErrConcurrentUse = fmt.Errorf("engine: concurrent use of session (sessions are single-goroutine)")
+
+// ErrSessionClosed is returned by entry points on a closed session.
+var ErrSessionClosed = fmt.Errorf("engine: session closed")
+
+// enter claims the session for one entry-point call.
+func (s *Session) enter() error {
+	if s.closed.Load() {
+		return ErrSessionClosed
+	}
+	if !s.busy.CompareAndSwap(0, 1) {
+		return ErrConcurrentUse
+	}
+	if s.closed.Load() { // lost a race with Close
+		s.busy.Store(0)
+		return ErrSessionClosed
+	}
+	s.owner.assert()
+	return nil
+}
+
+// leave releases the session after an entry-point call.
+func (s *Session) leave() { s.busy.Store(0) }
+
+// PinOwner pins the session to the calling goroutine: in lockdep builds
+// (-tags sqlcmlockdep) any later entry from a different goroutine panics
+// with both goroutine ids. In default builds it is free. Connection
+// handlers call it once when they take ownership of a session.
+func (s *Session) PinOwner() { s.owner.pin() }
+
+// InTxnOpen reports whether an explicit transaction is open without
+// claiming the session (diagnostics only; racy by nature).
+func (s *Session) InTxnOpen() bool { return s.tx != nil }
+
+// Closed reports whether the session has been closed.
+func (s *Session) Closed() bool { return s.closed.Load() }
+
+// Close ends the session: any open explicit transaction is rolled back
+// (firing the usual Transaction.Rollback monitoring event) and every later
+// entry point returns ErrSessionClosed. Close is idempotent. Closing a
+// session while a statement is in flight on another goroutine returns
+// ErrConcurrentUse after marking the session closed — the in-flight
+// statement completes, but its transaction is left to the lock manager's
+// timeout; callers owning the session (the single-goroutine contract)
+// never hit this.
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	if !s.busy.CompareAndSwap(0, 1) {
+		return ErrConcurrentUse
+	}
+	defer s.leave()
+	if s.tx != nil {
+		return s.rollback()
+	}
+	return nil
 }
 
 // Result is the outcome of one statement.
@@ -44,6 +139,10 @@ func (s *Session) InTxn() bool { return s.tx != nil }
 
 // Exec parses and executes one SQL statement.
 func (s *Session) Exec(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	if err := s.enter(); err != nil {
+		return nil, err
+	}
+	defer s.leave()
 	if s.e.closed.Load() {
 		return nil, errClosed
 	}
@@ -238,15 +337,17 @@ func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltype
 	// the atomic counters mutate afterwards.
 	instances := cp.instances.Add(1)
 	qi := &QueryInfo{
-		ID:        s.e.querySeq.Add(1),
-		SessionID: s.ID,
-		User:      s.User,
-		App:       s.App,
-		Text:      sql,
-		Type:      cp.qtype,
-		StartTime: time.Now(),
-		TxnID:     t.ID,
-		Txn:       t,
+		ID:           s.e.querySeq.Add(1),
+		SessionID:    s.ID,
+		User:         s.User,
+		App:          s.App,
+		RemoteAddr:   s.RemoteAddr,
+		SessionStart: s.ConnectTime,
+		Text:         sql,
+		Type:         cp.qtype,
+		StartTime:    time.Now(),
+		TxnID:        t.ID,
+		Txn:          t,
 		// Plans come from the cache; signatures are computed by the monitor
 		// on first dispatch and cached with the plan (see monitor package).
 		Logical:       cp.logical,

@@ -1,0 +1,53 @@
+//go:build sqlcmlockdep
+
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOwnerGuardPanicsAcrossGoroutines verifies the lockdep-build owner
+// assertion: once a session is pinned, entry from any other goroutine
+// panics with both goroutine ids.
+func TestOwnerGuardPanicsAcrossGoroutines(t *testing.T) {
+	e := newTestEngine(t)
+	s := e.NewSession("alice", "app")
+	s.PinOwner()
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
+
+	panicked := make(chan string, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked <- r.(string)
+				return
+			}
+			panicked <- ""
+		}()
+		s.Exec("SELECT * FROM t", nil) //nolint:errcheck
+	}()
+	msg := <-panicked
+	if msg == "" {
+		t.Fatal("cross-goroutine Exec on a pinned session did not panic")
+	}
+	if !strings.Contains(msg, "goroutine") {
+		t.Fatalf("panic message lacks goroutine ids: %q", msg)
+	}
+}
+
+// TestOwnerGuardUnpinnedSessionsUnaffected: sessions that never pin keep
+// the legacy behaviour (sequential cross-goroutine reuse allowed).
+func TestOwnerGuardUnpinnedSessionsUnaffected(t *testing.T) {
+	e := newTestEngine(t)
+	s := e.NewSession("alice", "app")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Exec("SELECT * FROM t", nil)
+		done <- err
+	}()
+	if err := <-done; err != nil {
+		t.Fatalf("sequential cross-goroutine exec on unpinned session: %v", err)
+	}
+}

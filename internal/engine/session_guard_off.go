@@ -1,0 +1,14 @@
+//go:build !sqlcmlockdep
+
+package engine
+
+// ownerGuard enforces the session single-goroutine contract in lockdep
+// builds (-tags sqlcmlockdep). In the default build both operations are
+// empty and the guard costs nothing.
+type ownerGuard struct{}
+
+// pin records the calling goroutine as the session owner (no-op here).
+func (*ownerGuard) pin() {}
+
+// assert verifies the caller is the pinned owner (no-op here).
+func (*ownerGuard) assert() {}

@@ -1,0 +1,53 @@
+//go:build sqlcmlockdep
+
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+)
+
+// ownerGuard enforces the session single-goroutine contract in lockdep
+// builds: once a session is pinned (PinOwner), every entry point asserts
+// it runs on the pinning goroutine and panics with both goroutine ids
+// otherwise. Unpinned sessions (embedded uses that hand a session between
+// goroutines sequentially) are only protected by the busy flag.
+type ownerGuard struct {
+	gid atomic.Int64 // owner goroutine id; 0 = unpinned
+}
+
+// pin records the calling goroutine as the session owner.
+func (g *ownerGuard) pin() { g.gid.Store(goroutineID()) }
+
+// assert verifies the caller is the pinned owner.
+func (g *ownerGuard) assert() {
+	want := g.gid.Load()
+	if want == 0 {
+		return
+	}
+	if got := goroutineID(); got != want {
+		panic(fmt.Sprintf(
+			"engine: session pinned to goroutine %d entered from goroutine %d (single-goroutine contract)",
+			want, got))
+	}
+}
+
+// goroutineID parses the current goroutine's id out of its stack header
+// ("goroutine N [running]:"). Lockdep builds only — never on the default
+// hot path.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

@@ -1,0 +1,277 @@
+// Package loadgen is an open-loop load harness for the network front-end
+// (internal/server). Each connection issues statements on a fixed schedule
+// derived from the target rate — latency is measured from the *scheduled*
+// send time, not the actual one, so a slow server accrues queueing delay
+// instead of silently throttling the generator (coordinated omission).
+//
+// The statement mix is biased by the simulation profiles (internal/sim):
+// the profile's query/advance/block shares become point-SELECT and UPDATE
+// shares against the workload schema (internal/workload), with Zipf key
+// skew so a handful of rows and statements dominate, as in real OLTP
+// monitoring workloads.
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sqlcm/internal/server"
+	"sqlcm/internal/sim"
+	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/workload"
+)
+
+// Config shapes one load run.
+type Config struct {
+	// Addr is the server address.
+	Addr string
+	// Conns is the number of concurrent connections (default 8).
+	Conns int
+	// Rate is the target statement rate across all connections, per second
+	// (default 200). The schedule is open-loop: the generator does not slow
+	// down when the server does.
+	Rate float64
+	// Duration bounds the measured run (default 5s); connections are all
+	// established before the clock starts.
+	Duration time.Duration
+	// Profile biases the statement mix (sim.ProfileOLTP/Blocker/Timer).
+	Profile sim.Profile
+	// Keys is the lineitem key-space size the generator draws from
+	// (default 1000; must not exceed the loaded row count).
+	Keys int
+	// OrderKeys is the orders key-space size (default Keys/4).
+	OrderKeys int
+	// Skew is the Zipf skew of key and statement choice (default 1.3).
+	Skew float64
+	// Seed drives the deterministic per-connection generators.
+	Seed int64
+	// User, App and Password are the connection identity.
+	User, App, Password string
+	// DialParallelism caps concurrent connection establishment (default 32).
+	DialParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Conns == 0 {
+		c.Conns = 8
+	}
+	if c.Rate == 0 {
+		c.Rate = 200
+	}
+	if c.Duration == 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Keys == 0 {
+		c.Keys = 1000
+	}
+	if c.OrderKeys == 0 {
+		c.OrderKeys = c.Keys / 4
+	}
+	if c.Skew == 0 {
+		c.Skew = 1.3
+	}
+	if c.User == "" {
+		c.User = "load"
+	}
+	if c.App == "" {
+		c.App = "sqlcm-load"
+	}
+	if c.DialParallelism == 0 {
+		c.DialParallelism = 32
+	}
+	return c
+}
+
+// Result summarizes one load run.
+type Result struct {
+	Conns      int           `json:"conns"`
+	Ops        int64         `json:"ops"`
+	Errors     int64         `json:"errors"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	Throughput float64       `json:"ops_per_sec"`
+	P50        time.Duration `json:"p50_ns"`
+	P90        time.Duration `json:"p90_ns"`
+	P99        time.Duration `json:"p99_ns"`
+	P999       time.Duration `json:"p999_ns"`
+	Max        time.Duration `json:"max_ns"`
+}
+
+// String renders the result for terminals.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"conns=%d ops=%d errors=%d elapsed=%v throughput=%.1f/s p50=%v p90=%v p99=%v p999=%v max=%v",
+		r.Conns, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		r.P50, r.P90, r.P99, r.P999, r.Max)
+}
+
+// The prepared statements every worker installs: point reads and point
+// writes against the workload schema, all keyed by one int parameter.
+var stmts = []struct {
+	name  string
+	sql   string
+	kinds []sqltypes.Kind
+}{
+	{"sel_l", "SELECT l_quantity, l_extendedprice FROM lineitem WHERE l_id = @key",
+		[]sqltypes.Kind{sqltypes.KindInt}},
+	{"sel_o", "SELECT o_totalprice, o_status FROM orders WHERE o_orderkey = @key",
+		[]sqltypes.Kind{sqltypes.KindInt}},
+	{"upd_l", "UPDATE lineitem SET l_quantity = @q WHERE l_id = @key",
+		[]sqltypes.Kind{sqltypes.KindFloat, sqltypes.KindInt}},
+	{"upd_o", "UPDATE orders SET o_status = @s WHERE o_orderkey = @key",
+		[]sqltypes.Kind{sqltypes.KindString, sqltypes.KindInt}},
+}
+
+// worker is one connection's generator state.
+type worker struct {
+	cli  *server.Client
+	r    *rand.Rand
+	lkey func() int
+	okey func() int
+	w    [6]int // profile thresholds
+
+	lats []time.Duration
+	ops  int64
+	errs int64
+}
+
+// pick maps a profile roll onto a statement + parameters. The profile's
+// query share becomes lineitem reads, its advance share orders reads, its
+// block share lineitem updates (write-lock traffic), the rest orders
+// updates — so ProfileBlocker yields ~3x the write share of ProfileOLTP.
+func (wk *worker) pick() (name string, values []sqltypes.Value) {
+	roll := wk.r.Intn(100)
+	switch {
+	case roll < wk.w[0]:
+		return "sel_l", []sqltypes.Value{sqltypes.NewInt(int64(wk.lkey() + 1))}
+	case roll < wk.w[1]:
+		return "sel_o", []sqltypes.Value{sqltypes.NewInt(int64(wk.okey() + 1))}
+	case roll < wk.w[2]:
+		return "upd_l", []sqltypes.Value{
+			sqltypes.NewFloat(float64(1 + wk.r.Intn(50))),
+			sqltypes.NewInt(int64(wk.lkey() + 1)),
+		}
+	default:
+		return "upd_o", []sqltypes.Value{
+			sqltypes.NewString([]string{"O", "F", "P"}[wk.r.Intn(3)]),
+			sqltypes.NewInt(int64(wk.okey() + 1)),
+		}
+	}
+}
+
+// Run establishes cfg.Conns connections, prepares the statement set on each,
+// then drives the open-loop schedule for cfg.Duration and reports latency
+// percentiles over all completed statements.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+
+	workers := make([]*worker, cfg.Conns)
+	var dialWG sync.WaitGroup
+	dialErr := make(chan error, cfg.Conns)
+	sem := make(chan struct{}, cfg.DialParallelism)
+	for i := range workers {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cli, err := server.Dial(cfg.Addr, server.ClientConfig{
+				User: cfg.User, App: cfg.App, Password: cfg.Password,
+			})
+			if err != nil {
+				dialErr <- fmt.Errorf("loadgen: conn %d: %w", i, err)
+				return
+			}
+			for _, st := range stmts {
+				if err := cli.Prepare(st.name, st.sql, st.kinds...); err != nil {
+					cli.Close() //nolint:errcheck
+					dialErr <- fmt.Errorf("loadgen: conn %d prepare %s: %w", i, st.name, err)
+					return
+				}
+			}
+			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			workers[i] = &worker{
+				cli:  cli,
+				r:    r,
+				lkey: workload.Zipf(r, cfg.Skew, cfg.Keys),
+				okey: workload.Zipf(r, cfg.Skew, cfg.OrderKeys),
+				w:    cfg.Profile.Weights(),
+			}
+		}(i)
+	}
+	dialWG.Wait()
+	select {
+	case err := <-dialErr:
+		for _, wk := range workers {
+			if wk != nil {
+				wk.cli.Close() //nolint:errcheck
+			}
+		}
+		return Result{}, err
+	default:
+	}
+
+	// All connections are up; start the measured open-loop run. Each worker
+	// sends every interval, staggered so the fleet doesn't phase-align.
+	interval := time.Duration(float64(cfg.Conns) / cfg.Rate * float64(time.Second))
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var runWG sync.WaitGroup
+	for i, wk := range workers {
+		runWG.Add(1)
+		go func(i int, wk *worker) {
+			defer runWG.Done()
+			defer wk.cli.Close() //nolint:errcheck
+			next := start.Add(time.Duration(i) * interval / time.Duration(cfg.Conns))
+			for next.Before(deadline) {
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+				name, values := wk.pick()
+				if _, err := wk.cli.ExecPrepared(name, values...); err != nil {
+					wk.errs++
+					var we *server.WireError
+					if !errors.As(err, &we) {
+						return // transport broken: this connection is done
+					}
+				} else {
+					wk.ops++
+					wk.lats = append(wk.lats, time.Since(next))
+				}
+				next = next.Add(interval)
+			}
+		}(i, wk)
+	}
+	runWG.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Conns: cfg.Conns, Elapsed: elapsed}
+	var all []time.Duration
+	for _, wk := range workers {
+		res.Ops += wk.ops
+		res.Errors += wk.errs
+		all = append(all, wk.lats...)
+	}
+	res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res.P50 = percentile(all, 0.50)
+	res.P90 = percentile(all, 0.90)
+	res.P99 = percentile(all, 0.99)
+	res.P999 = percentile(all, 0.999)
+	if n := len(all); n > 0 {
+		res.Max = all[n-1]
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from a sorted latency slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,88 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"sqlcm"
+	"sqlcm/internal/loadgen"
+	"sqlcm/internal/server"
+	"sqlcm/internal/sim"
+	"sqlcm/internal/workload"
+)
+
+// TestServeSmoke is the CI loopback tier (make serve-smoke): a short
+// open-loop load run against an in-process monitored server under -race —
+// nonzero throughput, zero statement errors, clean graceful shutdown.
+func TestServeSmoke(t *testing.T) {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	if _, err := db.DefineLAT(sqlcm.LATSpec{
+		Name:    "ByTemplate",
+		GroupBy: []string{"Logical_Signature"},
+		Aggs:    []sqlcm.AggCol{{Func: sqlcm.Count, Attr: "ID", Name: "N"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.NewRule("collect", "Query.Commit", "", &sqlcm.InsertAction{LAT: "ByTemplate"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := workload.Setup(db.Engine(), workload.Config{Lineitems: 1000, ShortQueries: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:       "127.0.0.1:0",
+		MaxConns:   100,
+		NewSession: db.RemoteSession,
+		Drain:      db.Flush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr().String(),
+		Conns:    25,
+		Rate:     150,
+		Duration: 1500 * time.Millisecond,
+		Profile:  sim.ProfileBlocker, // includes write traffic
+		Keys:     500,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("smoke: %s", res)
+	if res.Ops == 0 || res.Throughput <= 0 {
+		t.Fatalf("no throughput: %s", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("statement errors under smoke load: %s", res)
+	}
+	if res.P50 <= 0 || res.P999 < res.P50 {
+		t.Fatalf("implausible latencies: %s", res)
+	}
+
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	st := srv.Stats()
+	if st.Active != 0 {
+		t.Fatalf("connections still active after shutdown: %+v", st)
+	}
+	if st.Statements < res.Ops {
+		t.Fatalf("server statement count %d below client ops %d", st.Statements, res.Ops)
+	}
+	// The monitoring pipeline observed the wire traffic.
+	lat, _ := db.LAT("ByTemplate")
+	if lat.Len() == 0 {
+		t.Fatal("LAT empty after monitored load")
+	}
+}

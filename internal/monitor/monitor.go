@@ -339,6 +339,23 @@ func (q *QueryObject) Get(attr string) (sqltypes.Value, bool) {
 		return sqltypes.NewInt(info.Instances), true
 	case "Wait_Time":
 		return sqltypes.NewFloat(q.WaitTime.Seconds()), true
+	case "Remote_Addr":
+		// NULL for embedded sessions so connection-targeting conditions
+		// never match in-process traffic.
+		if info.RemoteAddr == "" {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewString(info.RemoteAddr), true
+	case "Connect_Time":
+		if info.SessionStart.IsZero() {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewTime(info.SessionStart), true
+	case "Session_Age":
+		if info.SessionStart.IsZero() {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewFloat(now().Sub(info.SessionStart).Seconds()), true
 	default:
 		return sqltypes.Null, false
 	}

@@ -37,6 +37,9 @@ func QueryAttributes() []Attribute {
 		{Name: "Queries_Blocked", Kind: sqltypes.KindInt, Doc: "# of queries blocked by this one"},
 		{Name: "Number_of_instances", Kind: sqltypes.KindInt, Doc: "executions of this plan"},
 		{Name: "Wait_Time", Kind: sqltypes.KindFloat, Doc: "wait of the current blocking event (s)"},
+		{Name: "Remote_Addr", Kind: sqltypes.KindString, Doc: "client address (NULL for embedded sessions)"},
+		{Name: "Connect_Time", Kind: sqltypes.KindTime, Doc: "owning session's connect time"},
+		{Name: "Session_Age", Kind: sqltypes.KindFloat, Doc: "owning session's age (s)"},
 	}
 }
 

@@ -1,0 +1,529 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"sqlcm/internal/engine"
+	"sqlcm/internal/sqltypes"
+)
+
+// conn serves one client connection. Exactly one goroutine runs serve();
+// it owns the engine session for the connection's whole lifetime (the
+// session is pinned to it in lockdep builds). The shutdown path touches a
+// conn only through atomics and the concurrency-safe net.Conn.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	pr   *protoReader
+	pw   *protoWriter
+	sess *engine.Session
+
+	// stmts holds the connection's named prepared statements; portals
+	// bind parameter values to one of them. Single-goroutine state.
+	stmts   map[string]*preparedStmt
+	portals map[string]*portal
+
+	// inCommand is set while a wire command is executing, so Shutdown can
+	// distinguish in-flight connections (left to finish) from idle ones
+	// (woken via read deadline).
+	inCommand atomic.Bool
+	// draining tells the command loop to exit after the current command.
+	draining atomic.Bool
+	// skipToSync is the extended-protocol error state: after an error,
+	// further extended messages are discarded until Sync.
+	skipToSync bool
+}
+
+// preparedStmt is a named statement plus the parameter kind hints the
+// client declared at Parse time.
+type preparedStmt struct {
+	ps    *engine.Prepared
+	kinds []sqltypes.Kind // by parameter position (ParamNames order)
+}
+
+// portal is a bound statement awaiting Execute.
+type portal struct {
+	stmt   *preparedStmt
+	params map[string]sqltypes.Value
+}
+
+// beginDrain asks the connection to wind down: an idle connection blocked
+// in a read is woken immediately; an in-flight one finishes its current
+// command first (the loop re-checks draining after every command).
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	if !c.inCommand.Load() {
+		c.nc.SetReadDeadline(time.Now()) //nolint:errcheck
+	}
+}
+
+// serve runs the connection: handshake, then the command loop.
+func (c *conn) serve() {
+	defer c.nc.Close() //nolint:errcheck
+	c.pr = newProtoReader(c.nc)
+	c.pw = newProtoWriter(c.nc)
+	c.stmts = make(map[string]*preparedStmt)
+	c.portals = make(map[string]*portal)
+
+	user, app, ok := c.handshake()
+	if !ok {
+		return
+	}
+	c.sess = c.srv.cfg.NewSession(user, app, c.nc.RemoteAddr().String())
+	c.sess.PinOwner()
+	defer c.sess.Close() //nolint:errcheck
+
+	for {
+		// Deadline before the draining check: beginDrain stores the flag
+		// and then arms an immediate read deadline, so whichever order the
+		// two goroutines interleave in, this loop either sees the flag here
+		// or keeps the immediate deadline and wakes from the read below.
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+		if c.draining.Load() {
+			c.pw.writeError(codeAdminShutdown, "server is shutting down") //nolint:errcheck
+			c.flush()                                                     //nolint:errcheck
+			return
+		}
+		typ, body, err := c.pr.readMessage()
+		if err != nil {
+			return // disconnect, idle timeout, or drain wake-up
+		}
+		c.inCommand.Store(true)
+		cont := c.dispatch(typ, body)
+		c.inCommand.Store(false)
+		if !cont {
+			return
+		}
+	}
+}
+
+// dispatch handles one frontend message; false ends the connection.
+func (c *conn) dispatch(typ byte, body []byte) bool {
+	switch typ {
+	case msgTerminate:
+		return false
+	case msgQuery:
+		return c.handleSimpleQuery(body)
+	case msgParse:
+		return c.handleParse(body)
+	case msgBind:
+		return c.handleBind(body)
+	case msgExecute:
+		return c.handleExecute(body)
+	case msgDescribe:
+		return c.handleDescribe(body)
+	case msgCloseStmt:
+		return c.handleClose(body)
+	case msgSync:
+		c.skipToSync = false
+		return c.ready()
+	default:
+		c.srv.errors.Add(1)
+		c.pw.writeError(codeProtocolViolation, fmt.Sprintf("unexpected message %q", typ)) //nolint:errcheck
+		return c.flush() == nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+// handshake runs the startup/auth exchange and returns the session
+// identity. On failure the error has been written and the connection is
+// done.
+func (c *conn) handshake() (user, app string, ok bool) {
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+	body, err := c.pr.readStartup()
+	if err != nil {
+		return "", "", false
+	}
+	p := payload{b: body}
+	ver, err := p.int32()
+	if err != nil {
+		return "", "", false
+	}
+	switch ver {
+	case sslRequest:
+		// No TLS: answer 'N' and expect the real startup next.
+		if _, err := c.nc.Write([]byte{'N'}); err != nil {
+			return "", "", false
+		}
+		if body, err = c.pr.readStartup(); err != nil {
+			return "", "", false
+		}
+		p = payload{b: body}
+		if ver, err = p.int32(); err != nil {
+			return "", "", false
+		}
+	case cancelReqest:
+		return "", "", false // out-of-band cancel: not supported, drop
+	}
+	if ver != protoVersion {
+		c.fail(codeProtocolViolation, fmt.Sprintf("unsupported protocol version %d", ver))
+		return "", "", false
+	}
+	params := map[string]string{}
+	for p.remaining() > 1 {
+		k, err := p.cstring()
+		if err != nil || k == "" {
+			break
+		}
+		v, err := p.cstring()
+		if err != nil {
+			break
+		}
+		params[k] = v
+	}
+	user = params["user"]
+	app = params["application_name"]
+
+	if c.srv.cfg.Password != "" {
+		c.pw.begin(msgAuth)
+		c.pw.putInt32(authCleartext)
+		c.pw.end()                                                  //nolint:errcheck
+		c.flush()                                                   //nolint:errcheck
+		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+		typ, body, err := c.pr.readMessage()
+		if err != nil || typ != msgPassword {
+			return "", "", false
+		}
+		pp := payload{b: body}
+		pass, _ := pp.cstring()
+		if pass != c.srv.cfg.Password {
+			c.fail(codeInvalidPassword, fmt.Sprintf("password authentication failed for user %q", user))
+			return "", "", false
+		}
+	}
+
+	c.pw.begin(msgAuth)
+	c.pw.putInt32(authOK)
+	c.pw.end() //nolint:errcheck
+	c.pw.begin(msgParameterStatus)
+	c.pw.putString("server_version")
+	c.pw.putString("sqlcm")
+	c.pw.end() //nolint:errcheck
+	c.pw.begin(msgBackendKeyData)
+	c.pw.putInt32(int32(c.srv.accepted.Load())) // backend "pid"
+	c.pw.putInt32(0)                            // secret (cancel unsupported)
+	c.pw.end()                                  //nolint:errcheck
+	if !c.ready() {
+		return "", "", false
+	}
+	return user, app, true
+}
+
+// fail writes one error response and flushes (connection-fatal paths).
+func (c *conn) fail(code, msg string) {
+	c.srv.errors.Add(1)
+	c.pw.writeError(code, msg) //nolint:errcheck
+	c.flush()                  //nolint:errcheck
+}
+
+// ready sends ReadyForQuery with the session's transaction status.
+func (c *conn) ready() bool {
+	status := byte(txIdle)
+	if c.sess != nil && c.sess.InTxn() {
+		status = txInTxn
+	}
+	c.pw.begin(msgReadyForQuery)
+	c.pw.putByte(status)
+	c.pw.end() //nolint:errcheck
+	return c.flush() == nil
+}
+
+// flush pushes buffered output under the write deadline.
+func (c *conn) flush() error {
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout)) //nolint:errcheck
+	return c.pw.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Simple query
+// ---------------------------------------------------------------------------
+
+func (c *conn) handleSimpleQuery(body []byte) bool {
+	p := payload{b: body}
+	sql, err := p.cstring()
+	if err != nil {
+		c.fail(codeProtocolViolation, "malformed Query message")
+		return false
+	}
+	if sql == "" {
+		c.pw.begin(msgEmptyQueryResp)
+		c.pw.end() //nolint:errcheck
+		return c.ready()
+	}
+	res, execErr := c.sess.Exec(sql, nil)
+	c.srv.statements.Add(1)
+	if execErr != nil {
+		c.srv.errors.Add(1)
+		c.pw.writeError(codeSyntaxOrExec, execErr.Error()) //nolint:errcheck
+		return c.ready()
+	}
+	c.writeResult(res)
+	return c.ready()
+}
+
+// writeResult frames a statement result: RowDescription + DataRows for
+// row-returning statements, then CommandComplete.
+func (c *conn) writeResult(res *engine.Result) {
+	if res != nil && res.Columns != nil {
+		c.pw.begin(msgRowDescription)
+		c.pw.putInt16(int16(len(res.Columns)))
+		kinds := columnKinds(res)
+		for i, col := range res.Columns {
+			c.pw.putString(col)
+			c.pw.putInt32(0) // table oid
+			c.pw.putInt16(0) // attr number
+			c.pw.putInt32(kindOID(kinds[i]))
+			c.pw.putInt16(-1) // type size
+			c.pw.putInt32(-1) // type modifier
+			c.pw.putInt16(0)  // text format
+		}
+		c.pw.end() //nolint:errcheck
+		for _, row := range res.Rows {
+			c.pw.begin(msgDataRow)
+			c.pw.putInt16(int16(len(row)))
+			for _, v := range row {
+				if s, ok := encodeValue(v); ok {
+					c.pw.putInt32(int32(len(s)))
+					c.pw.putBytes([]byte(s))
+				} else {
+					c.pw.putInt32(-1) // NULL
+				}
+			}
+			c.pw.end() //nolint:errcheck
+		}
+	}
+	c.pw.begin(msgCommandComplete)
+	c.pw.putString(commandTag(res))
+	c.pw.end() //nolint:errcheck
+}
+
+// columnKinds infers each result column's wire type from the first
+// non-NULL value in that column (all-NULL or empty → text).
+func columnKinds(res *engine.Result) []sqltypes.Kind {
+	kinds := make([]sqltypes.Kind, len(res.Columns))
+	for i := range kinds {
+		kinds[i] = sqltypes.KindString
+		for _, row := range res.Rows {
+			if i < len(row) && !row[i].IsNull() {
+				kinds[i] = row[i].Kind()
+				break
+			}
+		}
+	}
+	return kinds
+}
+
+// commandTag renders the CommandComplete tag for a result.
+func commandTag(res *engine.Result) string {
+	if res == nil {
+		return "OK"
+	}
+	if res.Columns != nil {
+		return fmt.Sprintf("SELECT %d", len(res.Rows))
+	}
+	return fmt.Sprintf("OK %d", res.Affected)
+}
+
+// ---------------------------------------------------------------------------
+// Extended protocol: Parse / Bind / Execute / Describe / Close
+// ---------------------------------------------------------------------------
+
+// extendedError reports an extended-protocol error and arms skip-to-Sync.
+func (c *conn) extendedError(code string, err error) bool {
+	c.srv.errors.Add(1)
+	c.skipToSync = true
+	c.pw.writeError(code, err.Error()) //nolint:errcheck
+	return c.flush() == nil
+}
+
+func (c *conn) handleParse(body []byte) bool {
+	if c.skipToSync {
+		return true
+	}
+	p := payload{b: body}
+	name, err1 := p.cstring()
+	sql, err2 := p.cstring()
+	if err1 != nil || err2 != nil {
+		c.fail(codeProtocolViolation, "malformed Parse message")
+		return false
+	}
+	nKinds, err := p.int16()
+	if err != nil {
+		c.fail(codeProtocolViolation, "malformed Parse message")
+		return false
+	}
+	kinds := make([]sqltypes.Kind, 0, nKinds)
+	for i := 0; i < int(nKinds); i++ {
+		oid, err := p.int32()
+		if err != nil {
+			c.fail(codeProtocolViolation, "malformed Parse message")
+			return false
+		}
+		kinds = append(kinds, oidKind(oid))
+	}
+	if name != "" {
+		if _, dup := c.stmts[name]; dup {
+			return c.extendedError(codeDuplicateStmt, fmt.Errorf("prepared statement %q already exists", name))
+		}
+	}
+	ps, err := c.sess.Prepare(sql)
+	if err != nil {
+		return c.extendedError(codeSyntaxOrExec, err)
+	}
+	c.stmts[name] = &preparedStmt{ps: ps, kinds: kinds}
+	c.pw.begin(msgParseComplete)
+	c.pw.end() //nolint:errcheck
+	return true
+}
+
+func (c *conn) handleBind(body []byte) bool {
+	if c.skipToSync {
+		return true
+	}
+	p := payload{b: body}
+	portalName, err1 := p.cstring()
+	stmtName, err2 := p.cstring()
+	if err1 != nil || err2 != nil {
+		c.fail(codeProtocolViolation, "malformed Bind message")
+		return false
+	}
+	stmt, ok := c.stmts[stmtName]
+	if !ok {
+		return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown prepared statement %q", stmtName))
+	}
+	// Parameter format codes (all must be text).
+	nFmt, err := p.int16()
+	if err != nil {
+		c.fail(codeProtocolViolation, "malformed Bind message")
+		return false
+	}
+	for i := 0; i < int(nFmt); i++ {
+		f, err := p.int16()
+		if err != nil {
+			c.fail(codeProtocolViolation, "malformed Bind message")
+			return false
+		}
+		if f != 0 {
+			return c.extendedError(codeProtocolViolation, fmt.Errorf("binary parameter format not supported"))
+		}
+	}
+	nParams, err := p.int16()
+	if err != nil {
+		c.fail(codeProtocolViolation, "malformed Bind message")
+		return false
+	}
+	names := stmt.ps.ParamNames()
+	if int(nParams) != len(names) {
+		return c.extendedError(codeSyntaxOrExec,
+			fmt.Errorf("statement has %d parameters, bind supplies %d", len(names), nParams))
+	}
+	params := make(map[string]sqltypes.Value, nParams)
+	for i := 0; i < int(nParams); i++ {
+		raw, notNull, err := p.lenBytes()
+		if err != nil {
+			c.fail(codeProtocolViolation, "malformed Bind message")
+			return false
+		}
+		if !notNull {
+			params[names[i]] = sqltypes.Null
+			continue
+		}
+		kind := sqltypes.KindString
+		if i < len(stmt.kinds) {
+			kind = stmt.kinds[i]
+		}
+		v, err := decodeValue(kind, string(raw))
+		if err != nil {
+			return c.extendedError(codeSyntaxOrExec, err)
+		}
+		params[names[i]] = v
+	}
+	// Result format codes: present but ignored (responses are text).
+	c.portals[portalName] = &portal{stmt: stmt, params: params}
+	c.pw.begin(msgBindComplete)
+	c.pw.end() //nolint:errcheck
+	return true
+}
+
+func (c *conn) handleExecute(body []byte) bool {
+	if c.skipToSync {
+		return true
+	}
+	p := payload{b: body}
+	portalName, err := p.cstring()
+	if err != nil {
+		c.fail(codeProtocolViolation, "malformed Execute message")
+		return false
+	}
+	pt, ok := c.portals[portalName]
+	if !ok {
+		return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown portal %q", portalName))
+	}
+	res, execErr := pt.stmt.ps.Exec(pt.params)
+	c.srv.statements.Add(1)
+	if execErr != nil {
+		return c.extendedError(codeSyntaxOrExec, execErr)
+	}
+	// Deviation from PostgreSQL: the RowDescription rides with Execute
+	// (row shapes are only known after execution here), so clients skip
+	// Describe entirely.
+	c.writeResult(res)
+	return true
+}
+
+func (c *conn) handleDescribe(body []byte) bool {
+	if c.skipToSync {
+		return true
+	}
+	p := payload{b: body}
+	kind, err1 := p.byte()
+	name, err2 := p.cstring()
+	if err1 != nil || err2 != nil {
+		c.fail(codeProtocolViolation, "malformed Describe message")
+		return false
+	}
+	switch kind {
+	case 'S':
+		if _, ok := c.stmts[name]; !ok {
+			return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown prepared statement %q", name))
+		}
+	case 'P':
+		if _, ok := c.portals[name]; !ok {
+			return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown portal %q", name))
+		}
+	}
+	// Documented deviation: row shapes are not known before execution, so
+	// Describe always answers NoData; Execute carries the RowDescription.
+	c.pw.begin(msgNoData)
+	c.pw.end() //nolint:errcheck
+	return true
+}
+
+func (c *conn) handleClose(body []byte) bool {
+	if c.skipToSync {
+		return true
+	}
+	p := payload{b: body}
+	kind, err1 := p.byte()
+	name, err2 := p.cstring()
+	if err1 != nil || err2 != nil {
+		c.fail(codeProtocolViolation, "malformed Close message")
+		return false
+	}
+	switch kind {
+	case 'S':
+		delete(c.stmts, name)
+	case 'P':
+		delete(c.portals, name)
+	}
+	c.pw.begin(msgCloseComplete)
+	c.pw.end() //nolint:errcheck
+	return true
+}

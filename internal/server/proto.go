@@ -1,0 +1,437 @@
+// Package server is SQLCM's network front-end: a TCP server speaking a
+// PostgreSQL-v3-style message protocol (startup/auth handshake, simple
+// query, parse/bind/execute for prepared statements, row descriptions and
+// data rows, error responses, terminate), mapping one goroutine-owned
+// engine.Session onto each connection.
+//
+// The protocol is v3-*style*, not v3-compatible: framing, message type
+// bytes and the startup/auth exchange follow the PostgreSQL layout, but
+// two simplifications are documented deviations — Describe always answers
+// NoData (row shapes are not known before execution in this engine), and
+// Execute emits its own RowDescription before the data rows so a client
+// never needs Describe. Parameters are the engine's named @params; Parse
+// carries kind hints per parameter (in first-appearance order) and Bind
+// sends text-format values decoded through those hints.
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"sqlcm/internal/sqltypes"
+)
+
+// Protocol constants.
+const (
+	protoVersion = 196608 // 3.0, as in PostgreSQL
+	sslRequest   = 80877103
+	cancelReqest = 80877102
+
+	// maxMessageLen bounds one wire message (length prefix included); a
+	// peer announcing more is cut off rather than ballooning memory.
+	maxMessageLen = 16 << 20
+)
+
+// Backend (server→client) message type bytes.
+const (
+	msgAuth            = 'R'
+	msgBackendKeyData  = 'K'
+	msgParameterStatus = 'S'
+	msgReadyForQuery   = 'Z'
+	msgRowDescription  = 'T'
+	msgDataRow         = 'D'
+	msgCommandComplete = 'C'
+	msgErrorResponse   = 'E'
+	msgParseComplete   = '1'
+	msgBindComplete    = '2'
+	msgCloseComplete   = '3'
+	msgNoData          = 'n'
+	msgEmptyQueryResp  = 'I'
+)
+
+// Frontend (client→server) message type bytes.
+const (
+	msgQuery     = 'Q'
+	msgParse     = 'P'
+	msgBind      = 'B'
+	msgExecute   = 'E'
+	msgDescribe  = 'D'
+	msgSync      = 'S'
+	msgCloseStmt = 'C'
+	msgTerminate = 'X'
+	msgPassword  = 'p'
+)
+
+// Authentication codes carried by msgAuth.
+const (
+	authOK        = 0
+	authCleartext = 3
+)
+
+// Transaction-status bytes in ReadyForQuery.
+const (
+	txIdle   = 'I'
+	txInTxn  = 'T'
+	txFailed = 'E'
+)
+
+// Type oids for RowDescription, mirroring the PostgreSQL values for the
+// kinds this engine has.
+const (
+	oidBool   = 16
+	oidInt8   = 20
+	oidText   = 25
+	oidFloat8 = 701
+	oidTstz   = 1184
+)
+
+// kindOID maps an engine kind onto its wire oid.
+func kindOID(k sqltypes.Kind) int32 {
+	switch k {
+	case sqltypes.KindInt:
+		return oidInt8
+	case sqltypes.KindFloat:
+		return oidFloat8
+	case sqltypes.KindBool:
+		return oidBool
+	case sqltypes.KindTime:
+		return oidTstz
+	default:
+		return oidText
+	}
+}
+
+// oidKind maps a wire oid back onto an engine kind (0 and unknown → string).
+func oidKind(oid int32) sqltypes.Kind {
+	switch oid {
+	case oidInt8:
+		return sqltypes.KindInt
+	case oidFloat8:
+		return sqltypes.KindFloat
+	case oidBool:
+		return sqltypes.KindBool
+	case oidTstz:
+		return sqltypes.KindTime
+	default:
+		return sqltypes.KindString
+	}
+}
+
+// wireTimeFormat renders DATETIME values on the wire with full precision.
+const wireTimeFormat = time.RFC3339Nano
+
+// encodeValue renders one value in text format; ok=false marks NULL.
+func encodeValue(v sqltypes.Value) (s string, ok bool) {
+	if v.IsNull() {
+		return "", false
+	}
+	switch v.Kind() {
+	case sqltypes.KindInt:
+		return strconv.FormatInt(v.Int(), 10), true
+	case sqltypes.KindFloat:
+		return strconv.FormatFloat(v.Float(), 'g', -1, 64), true
+	case sqltypes.KindBool:
+		if v.Bool() {
+			return "t", true
+		}
+		return "f", true
+	case sqltypes.KindTime:
+		return v.Time().Format(wireTimeFormat), true
+	default:
+		return v.Str(), true
+	}
+}
+
+// decodeValue parses one text-format value into the hinted kind.
+func decodeValue(kind sqltypes.Kind, text string) (sqltypes.Value, error) {
+	switch kind {
+	case sqltypes.KindInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("server: bad int parameter %q", text)
+		}
+		return sqltypes.NewInt(n), nil
+	case sqltypes.KindFloat:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("server: bad float parameter %q", text)
+		}
+		return sqltypes.NewFloat(f), nil
+	case sqltypes.KindBool:
+		switch text {
+		case "t", "true", "TRUE":
+			return sqltypes.NewBool(true), nil
+		case "f", "false", "FALSE":
+			return sqltypes.NewBool(false), nil
+		}
+		return sqltypes.Null, fmt.Errorf("server: bad bool parameter %q", text)
+	case sqltypes.KindTime:
+		ts, err := time.Parse(wireTimeFormat, text)
+		if err != nil {
+			return sqltypes.Null, fmt.Errorf("server: bad time parameter %q", text)
+		}
+		return sqltypes.NewTime(ts), nil
+	default:
+		return sqltypes.NewString(text), nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Message reader
+// ---------------------------------------------------------------------------
+
+// protoReader reads framed protocol messages off a connection.
+type protoReader struct {
+	r *bufio.Reader
+}
+
+func newProtoReader(c net.Conn) *protoReader {
+	return &protoReader{r: bufio.NewReaderSize(c, 8<<10)}
+}
+
+// readMessage reads one typed message: a type byte, an int32 length
+// (including itself), and the payload.
+func (pr *protoReader) readMessage() (byte, []byte, error) {
+	typ, err := pr.r.ReadByte()
+	if err != nil {
+		return 0, nil, err
+	}
+	payload, err := pr.readLenPayload()
+	if err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// readStartup reads the untyped startup message (length + payload).
+func (pr *protoReader) readStartup() ([]byte, error) {
+	return pr.readLenPayload()
+}
+
+func (pr *protoReader) readLenPayload() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(pr.r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := int32(binary.BigEndian.Uint32(lenBuf[:]))
+	if n < 4 || n > maxMessageLen {
+		return nil, fmt.Errorf("server: bad message length %d", n)
+	}
+	payload := make([]byte, n-4)
+	if _, err := io.ReadFull(pr.r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// payload is a cursor over one message body.
+type payload struct {
+	b []byte
+}
+
+func (p *payload) remaining() int { return len(p.b) }
+
+func (p *payload) int32() (int32, error) {
+	if len(p.b) < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := int32(binary.BigEndian.Uint32(p.b))
+	p.b = p.b[4:]
+	return v, nil
+}
+
+func (p *payload) int16() (int16, error) {
+	if len(p.b) < 2 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := int16(binary.BigEndian.Uint16(p.b))
+	p.b = p.b[2:]
+	return v, nil
+}
+
+func (p *payload) byte() (byte, error) {
+	if len(p.b) < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := p.b[0]
+	p.b = p.b[1:]
+	return v, nil
+}
+
+// cstring reads a NUL-terminated string.
+func (p *payload) cstring() (string, error) {
+	for i, c := range p.b {
+		if c == 0 {
+			s := string(p.b[:i])
+			p.b = p.b[i+1:]
+			return s, nil
+		}
+	}
+	return "", io.ErrUnexpectedEOF
+}
+
+// lenBytes reads an int32 length then that many bytes; -1 means NULL.
+func (p *payload) lenBytes() ([]byte, bool, error) {
+	n, err := p.int32()
+	if err != nil {
+		return nil, false, err
+	}
+	if n < 0 {
+		return nil, false, nil
+	}
+	if int(n) > len(p.b) {
+		return nil, false, io.ErrUnexpectedEOF
+	}
+	v := p.b[:n]
+	p.b = p.b[n:]
+	return v, true, nil
+}
+
+// ---------------------------------------------------------------------------
+// Message writer
+// ---------------------------------------------------------------------------
+
+// protoWriter builds and flushes framed protocol messages. Messages are
+// buffered; Flush pushes them onto the wire.
+type protoWriter struct {
+	w     *bufio.Writer
+	buf   []byte // current message under construction
+	typ   byte
+	inMsg bool
+}
+
+func newProtoWriter(c net.Conn) *protoWriter {
+	return &protoWriter{w: bufio.NewWriterSize(c, 8<<10)}
+}
+
+// begin starts a typed message.
+func (pw *protoWriter) begin(typ byte) {
+	pw.typ = typ
+	pw.buf = pw.buf[:0]
+	pw.inMsg = true
+}
+
+func (pw *protoWriter) putByte(b byte) { pw.buf = append(pw.buf, b) }
+func (pw *protoWriter) putInt16(v int16) {
+	pw.buf = append(pw.buf, byte(v>>8), byte(v))
+}
+func (pw *protoWriter) putInt32(v int32) {
+	pw.buf = append(pw.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func (pw *protoWriter) putString(s string) {
+	pw.buf = append(pw.buf, s...)
+	pw.buf = append(pw.buf, 0)
+}
+func (pw *protoWriter) putBytes(b []byte) { pw.buf = append(pw.buf, b...) }
+
+// end frames the message under construction into the output buffer.
+func (pw *protoWriter) end() error {
+	if !pw.inMsg {
+		return fmt.Errorf("server: end without begin")
+	}
+	pw.inMsg = false
+	var hdr [5]byte
+	hdr[0] = pw.typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(pw.buf)+4))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := pw.w.Write(pw.buf)
+	return err
+}
+
+// flush pushes buffered messages to the connection.
+func (pw *protoWriter) flush() error { return pw.w.Flush() }
+
+// writeStartup writes the untyped startup message (client side).
+func (pw *protoWriter) writeStartup(params map[string]string) error {
+	body := make([]byte, 0, 64)
+	var v [4]byte
+	binary.BigEndian.PutUint32(v[:], uint32(protoVersion))
+	body = append(body, v[:]...)
+	for k, val := range params {
+		body = append(body, k...)
+		body = append(body, 0)
+		body = append(body, val...)
+		body = append(body, 0)
+	}
+	body = append(body, 0)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)+4))
+	if _, err := pw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pw.w.Write(body); err != nil {
+		return err
+	}
+	return pw.w.Flush()
+}
+
+// ---------------------------------------------------------------------------
+// Error responses
+// ---------------------------------------------------------------------------
+
+// WireError is an ErrorResponse decoded from (or destined for) the wire.
+type WireError struct {
+	Severity string
+	Code     string
+	Message  string
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	return fmt.Sprintf("%s (%s): %s", e.Severity, e.Code, e.Message)
+}
+
+// SQLSTATE-style codes used by this front-end.
+const (
+	codeProtocolViolation = "08P01"
+	codeTooManyConns      = "53300"
+	codeInvalidPassword   = "28P01"
+	codeAdminShutdown     = "57P01"
+	codeSyntaxOrExec      = "42601"
+	codeDuplicateStmt     = "42P05"
+	codeUndefinedStmt     = "26000"
+)
+
+// writeError frames one ErrorResponse.
+func (pw *protoWriter) writeError(code, msg string) error {
+	pw.begin(msgErrorResponse)
+	pw.putByte('S')
+	pw.putString("ERROR")
+	pw.putByte('C')
+	pw.putString(code)
+	pw.putByte('M')
+	pw.putString(msg)
+	pw.putByte(0)
+	return pw.end()
+}
+
+// parseError decodes an ErrorResponse payload.
+func parseError(body []byte) *WireError {
+	e := &WireError{Severity: "ERROR"}
+	p := payload{b: body}
+	for {
+		f, err := p.byte()
+		if err != nil || f == 0 {
+			return e
+		}
+		v, err := p.cstring()
+		if err != nil {
+			return e
+		}
+		switch f {
+		case 'S':
+			e.Severity = v
+		case 'C':
+			e.Code = v
+		case 'M':
+			e.Message = v
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlcm/internal/engine"
+	"sqlcm/internal/lockcheck"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:5477"; ":0" picks a
+	// free port).
+	Addr string
+	// MaxConns caps concurrent connections; further clients get a
+	// "too many connections" error response at startup. 0 means the
+	// default of 2000.
+	MaxConns int
+	// ReadTimeout bounds how long a connection may sit idle between
+	// messages (and each handshake read). 0 means the default of 5m.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush. 0 means the default of 30s.
+	WriteTimeout time.Duration
+	// DrainTimeout bounds the graceful part of Shutdown: in-flight
+	// statements get this long to finish before their connections are
+	// force-closed. 0 means the default of 10s.
+	DrainTimeout time.Duration
+	// Password, when set, arms cleartext-password authentication; empty
+	// trusts every client.
+	Password string
+	// NewSession opens the engine session for one authenticated
+	// connection. Required.
+	NewSession func(user, app, remoteAddr string) *engine.Session
+	// Drain, when set, is called after every connection has ended during
+	// Shutdown, with the remaining shutdown budget — the hook the
+	// monitoring stack uses to drain its action outbox before the process
+	// exits. Returning false reports abandoned work.
+	Drain func(timeout time.Duration) bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns == 0 {
+		c.MaxConns = 2000
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Stats is a point-in-time view of the server's counters.
+type Stats struct {
+	Accepted   int64 // connections accepted (including later-rejected)
+	Rejected   int64 // connections refused by the MaxConns limit
+	Active     int64 // connections currently open
+	Statements int64 // wire statements executed (simple + extended)
+	Errors     int64 // error responses sent
+}
+
+// Server is the TCP front-end: an accept loop handing each connection a
+// goroutine that owns one engine.Session for the connection's lifetime.
+type Server struct {
+	cfg Config
+	lis net.Listener
+
+	// mu protects the live-connection set.
+	//sqlcm:lock server.conns
+	mu    lockcheck.Mutex
+	conns map[*conn]struct{}
+
+	wg       sync.WaitGroup // connection goroutines
+	acceptWG sync.WaitGroup // the accept loop itself
+	closing  atomic.Bool
+
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	statements atomic.Int64
+	errors     atomic.Int64
+}
+
+// New builds a server; Start brings up the listener.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewSession == nil {
+		return nil, fmt.Errorf("server: Config.NewSession is required")
+	}
+	s := &Server{cfg: cfg.withDefaults(), conns: make(map[*conn]struct{})}
+	s.mu.SetClass("server.conns")
+	return s, nil
+}
+
+// Start binds the listen address and launches the accept loop.
+func (s *Server) Start() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.lis = lis
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
+	return Stats{
+		Accepted:   s.accepted.Load(),
+		Rejected:   s.rejected.Load(),
+		Active:     active,
+		Statements: s.statements.Load(),
+		Errors:     s.errors.Load(),
+	}
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		nc, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal accept error
+		}
+		s.accepted.Add(1)
+		if s.closing.Load() {
+			s.refuse(nc, codeAdminShutdown, "server is shutting down")
+			continue
+		}
+		c := &conn{srv: s, nc: nc}
+		if !s.track(c) {
+			s.rejected.Add(1)
+			s.refuse(nc, codeTooManyConns, "too many connections")
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(c)
+			c.serve()
+		}()
+	}
+}
+
+// refuse answers a connection we will not serve with an error response
+// and closes it (best effort; the client may not even read it).
+func (s *Server) refuse(nc net.Conn, code, msg string) {
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
+	pw := newProtoWriter(nc)
+	pw.writeError(code, msg) //nolint:errcheck
+	pw.flush()               //nolint:errcheck
+	nc.Close()               //nolint:errcheck
+}
+
+// track admits a connection under the MaxConns limit.
+func (s *Server) track(c *conn) bool {
+	s.mu.Lock()
+	if len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		return false
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	return true
+}
+
+// untrack removes a finished connection.
+func (s *Server) untrack(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// connSnapshot copies the live-connection set (lock held only for the
+// copy; per-connection work happens outside it).
+func (s *Server) connSnapshot() []*conn {
+	s.mu.Lock()
+	out := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		out = append(out, c)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// ErrDrainIncomplete reports a Shutdown that had to abandon work: force-
+// closed connections or an outbox drain that timed out.
+var ErrDrainIncomplete = errors.New("server: shutdown drain incomplete")
+
+// Shutdown stops the server with the outbox drain discipline: stop
+// accepting, wake idle connections and let in-flight statements finish
+// under the drain deadline, force-close stragglers, then hand the
+// remaining budget to the Drain hook (the monitoring outbox). It returns
+// ErrDrainIncomplete (wrapped with detail) if anything was abandoned.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	if s.closing.Swap(true) {
+		return nil
+	}
+	if timeout <= 0 {
+		timeout = s.cfg.DrainTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	// 1. Refuse new connections.
+	if s.lis != nil {
+		s.lis.Close() //nolint:errcheck
+		s.acceptWG.Wait()
+	}
+
+	// 2. Begin draining every live connection: each observes the draining
+	// flag after its current command (if any) completes; idle connections
+	// blocked in a read are woken by an immediate read deadline.
+	for _, c := range s.connSnapshot() {
+		c.beginDrain()
+	}
+
+	// 3. Wait for connection goroutines up to the deadline, then force-
+	// close whatever is left and collect the goroutines.
+	graceful := waitTimeout(&s.wg, time.Until(deadline))
+	var forced int
+	if !graceful {
+		for _, c := range s.connSnapshot() {
+			c.nc.Close() //nolint:errcheck
+			forced++
+		}
+		s.wg.Wait()
+	}
+
+	// 4. Drain the monitoring outbox with whatever budget remains (at
+	// least a second, so a shutdown that spent its budget on connections
+	// still flushes quick queues).
+	drained := true
+	if s.cfg.Drain != nil {
+		budget := time.Until(deadline)
+		if budget < time.Second {
+			budget = time.Second
+		}
+		drained = s.cfg.Drain(budget)
+	}
+
+	switch {
+	case forced > 0 && !drained:
+		return fmt.Errorf("%w: %d connections force-closed, outbox drain timed out", ErrDrainIncomplete, forced)
+	case forced > 0:
+		return fmt.Errorf("%w: %d connections force-closed", ErrDrainIncomplete, forced)
+	case !drained:
+		return fmt.Errorf("%w: outbox drain timed out", ErrDrainIncomplete)
+	}
+	return nil
+}
+
+// waitTimeout waits on a WaitGroup with a deadline.
+func waitTimeout(wg *sync.WaitGroup, d time.Duration) bool {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}

@@ -31,6 +31,38 @@ const (
 	ProfileTimer                  // timer churn and long time jumps
 )
 
+// Weights returns the profile's cumulative percentage thresholds for the
+// query/advance/block/txn/timerset/reset event mix. Exported so other
+// harnesses (the network load generator) can bias their statement mixes
+// with the same shapes the simulation traces use.
+func (p Profile) Weights() [6]int { return p.weights() }
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileBlocker:
+		return "blocker"
+	case ProfileTimer:
+		return "timer"
+	default:
+		return "oltp"
+	}
+}
+
+// ParseProfile resolves a profile by name ("oltp", "blocker", "timer").
+func ParseProfile(name string) (Profile, error) {
+	switch name {
+	case "oltp", "":
+		return ProfileOLTP, nil
+	case "blocker":
+		return ProfileBlocker, nil
+	case "timer":
+		return ProfileTimer, nil
+	default:
+		return ProfileOLTP, fmt.Errorf("sim: unknown profile %q (want oltp, blocker or timer)", name)
+	}
+}
+
 // weights returns cumulative percentage thresholds for
 // query/advance/block/txn/timerset/reset.
 func (p Profile) weights() [6]int {

@@ -30,9 +30,14 @@ go test -race -count=1 ./internal/faults/ ./internal/outbox/
 # Lockdep tier: the same chaos and concurrency suites with the runtime
 # lock-order assertions compiled in. A single out-of-order acquisition
 # anywhere in these runs panics with both acquisition stacks.
-go test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/
+go test -tags sqlcmlockdep -race -count=1 ./internal/lockcheck/... ./internal/lat/ ./internal/rules/ ./internal/monitor/ ./internal/event/ ./internal/engine/ ./internal/server/
 go test -tags sqlcmlockdep -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 go test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
+
+# Serve-smoke tier: a short open-loop load run against the in-process
+# network front-end under -race. Gates on nonzero throughput, zero
+# statement errors, and a clean graceful drain (see internal/loadgen).
+go test -race -count=1 -run TestServeSmoke ./internal/loadgen/
 
 # Sim tier: the deterministic simulation harness. Seeded workloads replay
 # through the real monitoring stack and a naive sequential oracle in

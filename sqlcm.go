@@ -244,6 +244,14 @@ func (db *DB) Session(user, app string) *Session {
 	return db.eng.NewSession(user, app)
 }
 
+// RemoteSession opens a session on behalf of a network client; remoteAddr
+// feeds the Remote_Addr, Connect_Time and Session_Age probes so rules can
+// target connections. The network front-end (internal/server) plugs this
+// into its Config.NewSession.
+func (db *DB) RemoteSession(user, app, remoteAddr string) *Session {
+	return db.eng.NewRemoteSession(user, app, remoteAddr)
+}
+
 // Exec runs one statement on a throwaway session (convenience for DDL and
 // setup scripts).
 func (db *DB) Exec(sql string, params map[string]Value) (*Result, error) {
