@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
+.PHONY: build vet lint test race chaos netchaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestEviction' -count=1 ./internal/core/
 	$(GO) test -race -count=1 ./internal/faults/ ./internal/outbox/
 
+# Netchaos tier: the open-loop load harness driven through the
+# fault-injecting listener (internal/faults/netfaults) under -race: 30%
+# of connections get latency/bandwidth/partial-write/slow-loris/reset/
+# blackhole toxics. Gates on zero protocol-corruption errors on surviving
+# connections, a clean drain within budget, and no leaked goroutines.
+netchaos:
+	$(GO) test -race -count=1 -run TestNetChaos ./internal/loadgen/
+
 # Lockdep tier: run the chaos and concurrency suites with the runtime
 # lock-order assertions compiled in (sqlcmlockdep) under -race, plus the
 # tag-gated lockdep unit tests themselves. Any lock acquired against the
@@ -67,18 +75,21 @@ sim-long:
 cover:
 	./scripts/coverfloor.sh
 
-# Fuzz smoke: harden the {ref} substitution scanner.
+# Fuzz smoke: harden the {ref} substitution scanner and the wire-protocol
+# frame parser. One -fuzz target per go test invocation.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/
+	$(GO) test -run='^$$' -fuzz=FuzzProtoFrame -fuzztime=30s ./internal/server/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1000x ./...
 
 # Committed benchmark snapshot: monitoring hot paths (event dispatch,
-# LAT observe) plus wire-level load percentiles at a fixed connection
-# count, monitoring on vs off. Full run; see BENCH_6.json.
+# LAT observe), wire-level load percentiles at a fixed connection count
+# with monitoring on vs off, and the same load clean vs under 5ms network
+# jitter. Full run; see BENCH_7.json.
 bench-json:
-	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_6.json
+	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_7.json
 
 # Loopback smoke tier: a short open-loop load run (internal/loadgen)
 # against an in-process network front-end under -race — nonzero

@@ -1,13 +1,14 @@
 // Command sqlcm-benchjson produces the committed benchmark snapshot
-// (BENCH_6.json): the monitoring hot paths as single numbers — end-to-end
+// (BENCH_7.json): the monitoring hot paths as single numbers — end-to-end
 // event-dispatch rate, LAT observe cost — plus the wire-level load figures
-// at a fixed connection count with monitoring on vs off, so a regression
-// in either the engine or the front-end shows up as a diff in a checked-in
-// file.
+// at a fixed connection count with monitoring on vs off, and the same load
+// through a clean listener vs one injecting 5ms network jitter, so a
+// regression in the engine, the front-end or the fault-handling path shows
+// up as a diff in a checked-in file.
 //
 // Usage:
 //
-//	sqlcm-benchjson -out BENCH_6.json              # full run (1000 conns)
+//	sqlcm-benchjson -out BENCH_7.json              # full run (1000 conns)
 //	sqlcm-benchjson -quick -out /tmp/bench.json    # CI-sized run
 package main
 
@@ -16,11 +17,13 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
 	"sqlcm"
+	"sqlcm/internal/faults/netfaults"
 	"sqlcm/internal/lat"
 	"sqlcm/internal/loadgen"
 	"sqlcm/internal/server"
@@ -58,16 +61,25 @@ type loadBench struct {
 	MonitoringOff loadgen.Result `json:"monitoring_off"`
 }
 
+type netchaosBench struct {
+	Conns      int            `json:"conns"`
+	Rate       float64        `json:"rate_target_per_sec"`
+	DurationNs int64          `json:"duration_ns"`
+	Clean      loadgen.Result `json:"clean"`
+	Jitter5ms  loadgen.Result `json:"jitter_5ms"`
+}
+
 type benchFile struct {
 	Generated string        `json:"generated"`
 	Host      hostInfo      `json:"host"`
 	Dispatch  dispatchBench `json:"dispatch"`
 	LAT       latBench      `json:"lat_observe"`
 	Load      loadBench     `json:"load"`
+	Netchaos  netchaosBench `json:"netchaos"`
 }
 
 func main() {
-	out := flag.String("out", "BENCH_6.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	conns := flag.Int("conns", 1000, "load-bench connection count")
 	rate := flag.Float64("rate", 2000, "load-bench target statements/sec")
 	duration := flag.Duration("duration", 10*time.Second, "load-bench run length per monitoring mode")
@@ -98,6 +110,17 @@ func main() {
 	}
 	fmt.Printf("load on:  %s\n", bf.Load.MonitoringOn)
 	fmt.Printf("load off: %s\n", bf.Load.MonitoringOff)
+	// The netchaos comparison uses a smaller fleet: jitter costs wall time
+	// per statement, and the point is the percentile delta, not scale.
+	ncConns, ncRate := *conns/10, *rate/10
+	if ncConns < 10 {
+		ncConns, ncRate = 10, 100
+	}
+	if bf.Netchaos, err = benchNetchaos(ncConns, ncRate, *duration); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("netchaos clean:  %s\n", bf.Netchaos.Clean)
+	fmt.Printf("netchaos jitter: %s\n", bf.Netchaos.Jitter5ms)
 
 	buf, err := json.MarshalIndent(bf, "", "  ")
 	if err != nil {
@@ -232,6 +255,73 @@ func benchLoad(conns int, rate float64, duration time.Duration) (loadBench, erro
 	}
 	res.MonitoringOn, res.MonitoringOff = on, off
 	return res, nil
+}
+
+// benchNetchaos runs the wire load twice — through a clean listener and
+// through one afflicting every connection with 5ms of uniform jitter —
+// so the committed file pins the latency cost of degraded networks.
+func benchNetchaos(conns int, rate float64, duration time.Duration) (netchaosBench, error) {
+	res := netchaosBench{Conns: conns, Rate: rate, DurationNs: duration.Nanoseconds()}
+	clean, err := benchChaosOnce(conns, rate, duration, 0)
+	if err != nil {
+		return res, err
+	}
+	jitter, err := benchChaosOnce(conns, rate, duration, 5*time.Millisecond)
+	if err != nil {
+		return res, err
+	}
+	res.Clean, res.Jitter5ms = clean, jitter
+	return res, nil
+}
+
+func benchChaosOnce(conns int, rate float64, duration, jitter time.Duration) (loadgen.Result, error) {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	defer db.Close() //nolint:errcheck
+	if _, err := workload.Setup(db.Engine(), workload.Config{Lineitems: 4000}); err != nil {
+		return loadgen.Result{}, err
+	}
+	cfg := server.Config{
+		Addr:             "127.0.0.1:0",
+		MaxConns:         conns + 10,
+		StatementTimeout: 5 * time.Second,
+		NewSession:       db.RemoteSession,
+		Drain:            db.Flush,
+	}
+	if jitter > 0 {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return loadgen.Result{}, err
+		}
+		cfg.Listener = netfaults.Wrap(lis, netfaults.Config{
+			Seed:     1,
+			Fraction: 1.0,
+			Plans:    []netfaults.Plan{netfaults.JitterPlan(jitter)},
+		})
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return loadgen.Result{}, err
+	}
+	if err := srv.Start(); err != nil {
+		return loadgen.Result{}, err
+	}
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:      srv.Addr().String(),
+		Conns:     conns,
+		Rate:      rate,
+		Duration:  duration,
+		Profile:   sim.ProfileOLTP,
+		Keys:      1000,
+		Seed:      1,
+		Reconnect: true,
+	})
+	if serr := srv.Shutdown(10 * time.Second); serr != nil && err == nil {
+		err = serr
+	}
+	return res, err
 }
 
 func benchLoadOnce(conns int, rate float64, duration time.Duration, monitoring bool) (loadgen.Result, error) {

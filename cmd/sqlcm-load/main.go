@@ -14,6 +14,11 @@
 //	sqlcm-load -addr 127.0.0.1:5477 -conns 100 -rate 500 -duration 10s
 //	sqlcm-load -profile blocker       # write-heavy mix
 //	sqlcm-load -json                  # machine-readable result
+//	sqlcm-load -reconnect -timeout 1s # survive transport faults; classify errors
+//
+// The summary breaks errors down by class — timeout, reset, reject,
+// shed, other — plus the reconnect count; "other" staying at zero is the
+// protocol-corruption check under fault injection.
 package main
 
 import (
@@ -38,6 +43,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	user := flag.String("user", "load", "connection user")
 	password := flag.String("password", "", "connection password")
+	reconnect := flag.Bool("reconnect", false, "redial broken connections with exponential backoff instead of retiring the worker")
+	timeout := flag.Duration("timeout", 0, "client-side deadline per dial and exchange (0 = the client default of 30s)")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	flag.Parse()
 
@@ -54,9 +61,11 @@ func main() {
 		Profile:  prof,
 		Keys:     *keys,
 		Skew:     *skew,
-		Seed:     *seed,
-		User:     *user,
-		Password: *password,
+		Seed:          *seed,
+		User:          *user,
+		Password:      *password,
+		Reconnect:     *reconnect,
+		ClientTimeout: *timeout,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcm-load:", err)

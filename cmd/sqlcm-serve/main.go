@@ -9,66 +9,96 @@
 //	sqlcm-serve -addr :5477 -monitor=false         # monitoring suspended
 //	sqlcm-serve -rules examples/rulesets/quickstart.rules
 //	sqlcm-serve -lineitems 10000                   # preload workload schema
+//	sqlcm-serve -stmt-timeout 5s -shed             # statement deadlines + overload shedding
+//	sqlcm-serve -chaos-fraction 0.3 -chaos-seed 7  # self-inflicted network faults
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: stop accepting, let
-// in-flight statements finish under -drain-timeout, then drain the
-// monitoring action outbox before exiting.
+// in-flight statements finish under -drain-timeout (statements that
+// outlive the graceful window are cancelled with reason drain), then
+// drain the monitoring action outbox before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"sqlcm"
+	"sqlcm/internal/faults/netfaults"
 	"sqlcm/internal/server"
 	"sqlcm/internal/workload"
 )
 
+// options carries the parsed flag set into run.
+type options struct {
+	addr          string
+	maxConns      int
+	monitor       bool
+	rulesFile     string
+	password      string
+	lineitems     int
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	drainTimeout  time.Duration
+	admissionWait time.Duration
+	stmtTimeout   time.Duration
+	shed          bool
+	chaosFraction float64
+	chaosSeed     int64
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:5477", "TCP listen address")
-	maxConns := flag.Int("max-conns", 2000, "maximum concurrent connections")
-	monitor := flag.Bool("monitor", true, "enable continuous monitoring (false suspends all probes)")
-	rulesFile := flag.String("rules", "", "load a .rules rule set at startup")
-	password := flag.String("password", "", "require cleartext-password auth with this password")
-	lineitems := flag.Int("lineitems", 0, "preload the workload schema with this many lineitem rows (0 = none)")
-	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "per-connection idle/read timeout")
-	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget")
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:5477", "TCP listen address")
+	flag.IntVar(&o.maxConns, "max-conns", 2000, "maximum concurrent connections")
+	flag.BoolVar(&o.monitor, "monitor", true, "enable continuous monitoring (false suspends all probes)")
+	flag.StringVar(&o.rulesFile, "rules", "", "load a .rules rule set at startup")
+	flag.StringVar(&o.password, "password", "", "require cleartext-password auth with this password")
+	flag.IntVar(&o.lineitems, "lineitems", 0, "preload the workload schema with this many lineitem rows (0 = none)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 5*time.Minute, "per-connection idle/read timeout")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second, "per-response write timeout")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 10*time.Second, "graceful-shutdown budget")
+	flag.DurationVar(&o.admissionWait, "admission-wait", 0, "how long a connection may wait for a MaxConns slot before the polite refusal (0 = refuse immediately)")
+	flag.DurationVar(&o.stmtTimeout, "stmt-timeout", 0, "per-statement deadline; exceeding it cancels the statement with a retryable 57014 (0 = off)")
+	flag.BoolVar(&o.shed, "shed", false, "refuse statements with a retryable 53400 while the monitor's dispatch budget reports overload")
+	flag.Float64Var(&o.chaosFraction, "chaos-fraction", 0, "afflict this fraction of accepted connections with network faults (0 = off; testing only)")
+	flag.Int64Var(&o.chaosSeed, "chaos-seed", 1, "seed for the chaos affliction schedule")
 	flag.Parse()
 
-	if err := run(*addr, *maxConns, *monitor, *rulesFile, *password, *lineitems, *readTimeout, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "sqlcm-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxConns int, monitor bool, rulesFile, password string, lineitems int, readTimeout, drainTimeout time.Duration) error {
+func run(o options) error {
 	db, err := sqlcm.Open(sqlcm.Config{})
 	if err != nil {
 		return err
 	}
 	defer db.Close() //nolint:errcheck
 
-	if rulesFile != "" {
-		src, err := os.ReadFile(rulesFile)
+	if o.rulesFile != "" {
+		src, err := os.ReadFile(o.rulesFile)
 		if err != nil {
 			return err
 		}
 		if err := db.LoadRuleSet(string(src)); err != nil {
-			return fmt.Errorf("rules %s: %w", rulesFile, err)
+			return fmt.Errorf("rules %s: %w", o.rulesFile, err)
 		}
-		fmt.Printf("loaded rule set %s\n", rulesFile)
+		fmt.Printf("loaded rule set %s\n", o.rulesFile)
 	}
-	if !monitor {
+	if !o.monitor {
 		db.Monitor().Suspend()
 		fmt.Println("monitoring suspended")
 	}
-	if lineitems > 0 {
+	if o.lineitems > 0 {
 		start := time.Now()
-		cfg, err := workload.Setup(db.Engine(), workload.Config{Lineitems: lineitems})
+		cfg, err := workload.Setup(db.Engine(), workload.Config{Lineitems: o.lineitems})
 		if err != nil {
 			return fmt.Errorf("workload setup: %w", err)
 		}
@@ -76,31 +106,53 @@ func run(addr string, maxConns int, monitor bool, rulesFile, password string, li
 			cfg.Lineitems, cfg.Orders, cfg.Parts, time.Since(start).Round(time.Millisecond))
 	}
 
-	srv, err := server.New(server.Config{
-		Addr:         addr,
-		MaxConns:     maxConns,
-		ReadTimeout:  readTimeout,
-		DrainTimeout: drainTimeout,
-		Password:     password,
-		NewSession:   db.RemoteSession,
-		Drain:        db.Flush,
-	})
+	cfg := server.Config{
+		Addr:             o.addr,
+		MaxConns:         o.maxConns,
+		ReadTimeout:      o.readTimeout,
+		WriteTimeout:     o.writeTimeout,
+		DrainTimeout:     o.drainTimeout,
+		AdmissionWait:    o.admissionWait,
+		StatementTimeout: o.stmtTimeout,
+		Password:         o.password,
+		NewSession:       db.RemoteSession,
+		Drain:            db.Flush,
+	}
+	if o.shed {
+		cfg.Overloaded = db.Monitor().Bus().Degraded
+		fmt.Println("overload shedding armed (monitor dispatch-budget state)")
+	}
+	if o.chaosFraction > 0 {
+		// Self-inflicted chaos: bind the address ourselves and serve the
+		// fault-injecting wrapper instead.
+		lis, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		cfg.Listener = netfaults.Wrap(lis, netfaults.Config{
+			Seed:     o.chaosSeed,
+			Fraction: o.chaosFraction,
+		})
+		fmt.Printf("network chaos armed: fraction=%.2f seed=%d\n", o.chaosFraction, o.chaosSeed)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 	if err := srv.Start(); err != nil {
 		return err
 	}
-	fmt.Printf("listening on %s (max %d connections, monitoring=%v)\n", srv.Addr(), maxConns, monitor)
+	fmt.Printf("listening on %s (max %d connections, monitoring=%v)\n", srv.Addr(), o.maxConns, o.monitor)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down...")
-	if err := srv.Shutdown(drainTimeout); err != nil {
+	if err := srv.Shutdown(o.drainTimeout); err != nil {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Printf("served %d connections, %d statements (%d errors)\n", st.Accepted, st.Statements, st.Errors)
+	fmt.Printf("served %d connections, %d statements (%d errors, %d shed, %d cancelled)\n",
+		st.Accepted, st.Statements, st.Errors, st.Shed, st.Cancelled)
 	return nil
 }

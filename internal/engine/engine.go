@@ -263,7 +263,8 @@ func (e *Engine) ActiveQueryInfos() []*QueryInfo {
 }
 
 // CancelQuery cancels the statement with the given id (and its transaction
-// lock waits). It reports whether the query was found.
+// lock waits). It reports whether the query was found. The cancellation
+// is attributed as an admin cancel (rules' CANCEL action, operators).
 func (e *Engine) CancelQuery(id int64) bool {
 	e.queryMu.RLock()
 	q, ok := e.active[id]
@@ -271,6 +272,7 @@ func (e *Engine) CancelQuery(id int64) bool {
 	if !ok {
 		return false
 	}
+	q.MarkCancelled(CancelAdmin)
 	return e.tm.Cancel(q.TxnID)
 }
 

@@ -58,7 +58,26 @@ type QueryInfo struct {
 	// Optimization timing, input to the signature-overhead experiment.
 	OptimizeTime time.Duration
 
+	// cancelReason records the first defensive cancellation applied to
+	// the statement (CancelReason values); 0 (CancelNone) means none.
+	// First-wins CAS: a statement cancelled by both a timeout and a
+	// drain keeps whichever reason landed first.
+	cancelReason atomic.Int32
+
 	done atomic.Bool
+}
+
+// MarkCancelled records a defensive cancellation reason, first-wins. It
+// reports whether this call was the one that set the reason.
+func (q *QueryInfo) MarkCancelled(r CancelReason) bool {
+	return q.cancelReason.CompareAndSwap(int32(CancelNone), int32(r))
+}
+
+// CancelReason returns the defensive-cancellation reason (CancelNone if
+// the statement was never defensively cancelled). It feeds the
+// Cancel_Reason probe.
+func (q *QueryInfo) CancelReason() CancelReason {
+	return CancelReason(q.cancelReason.Load())
 }
 
 // TimeBlocked returns the total time this query spent waiting on locks.
@@ -123,6 +142,12 @@ type Hooks interface {
 	// QueryAbort fires when a statement fails; cancelled distinguishes
 	// Query.Cancel from Query.Rollback.
 	QueryAbort(q *QueryInfo, duration time.Duration, cancelled bool)
+	// QueryCancelled fires (after QueryAbort) when a statement was
+	// terminated by a defensive cancellation — statement timeout,
+	// admission-control shed, server drain, or an explicit admin/rule
+	// cancel — with the attributed reason. Shed statements never started
+	// executing, so for them this is the only event that fires.
+	QueryCancelled(q *QueryInfo, duration time.Duration, reason CancelReason)
 	// QueryBlocked fires when a statement starts waiting on a lock.
 	QueryBlocked(ev BlockEvent)
 	// QueryUnblocked fires when a waiting statement resumes.
@@ -151,6 +176,9 @@ func (NopHooks) QueryCommit(*QueryInfo, time.Duration) {}
 
 // QueryAbort implements Hooks.
 func (NopHooks) QueryAbort(*QueryInfo, time.Duration, bool) {}
+
+// QueryCancelled implements Hooks.
+func (NopHooks) QueryCancelled(*QueryInfo, time.Duration, CancelReason) {}
 
 // QueryBlocked implements Hooks.
 func (NopHooks) QueryBlocked(BlockEvent) {}

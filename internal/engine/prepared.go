@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"sqlcm/internal/sqltypes"
@@ -55,6 +56,12 @@ func (p *Prepared) ParamNames() []string { return append([]string(nil), p.names.
 
 // Exec runs the prepared statement with the given parameter bindings.
 func (p *Prepared) Exec(params map[string]sqltypes.Value) (*Result, error) {
+	return p.ExecContext(context.Background(), params)
+}
+
+// ExecContext runs the prepared statement under a context, with the same
+// cancellation semantics as Session.ExecContext.
+func (p *Prepared) ExecContext(ctx context.Context, params map[string]sqltypes.Value) (*Result, error) {
 	s := p.s
 	if err := s.enter(); err != nil {
 		return nil, err
@@ -73,7 +80,7 @@ func (p *Prepared) Exec(params map[string]sqltypes.Value) (*Result, error) {
 		}
 		p.cp, p.gen = cp, gen
 	}
-	return s.execPlanned(p.cp, p.sql, params)
+	return s.execPlanned(ctx, p.cp, p.sql, params)
 }
 
 // ScanParamNames extracts the @name parameter placeholders of a statement

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync/atomic"
@@ -44,6 +45,11 @@ type Session struct {
 	busy   atomic.Int32
 	closed atomic.Bool
 	owner  ownerGuard // lockdep-build owner-goroutine assertion
+
+	// cur publishes the in-flight statement so CancelCurrent (server
+	// drain paths, other goroutines) can cancel it through atomics
+	// without violating the single-goroutine contract.
+	cur atomic.Pointer[QueryInfo]
 }
 
 // NewSession opens a session for the given user and application name (both
@@ -139,6 +145,17 @@ func (s *Session) InTxn() bool { return s.tx != nil }
 
 // Exec parses and executes one SQL statement.
 func (s *Session) Exec(sql string, params map[string]sqltypes.Value) (*Result, error) {
+	return s.ExecContext(context.Background(), sql, params)
+}
+
+// ExecContext parses and executes one SQL statement under a context.
+// When ctx ends before the statement does, execution is cancelled at the
+// next row-iteration or lock-wait boundary, the statement fails with a
+// CancelledError carrying the reason derived from the context's cause
+// (see CauseStatementTimeout, CauseDrain), and a Query.Cancelled event
+// fires. The context does not bound transaction-control or DDL
+// statements, which do not iterate rows.
+func (s *Session) ExecContext(ctx context.Context, sql string, params map[string]sqltypes.Value) (*Result, error) {
 	if err := s.enter(); err != nil {
 		return nil, err
 	}
@@ -150,10 +167,10 @@ func (s *Session) Exec(sql string, params map[string]sqltypes.Value) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	return s.execPlanned(cp, sql, params)
+	return s.execPlanned(ctx, cp, sql, params)
 }
 
-func (s *Session) execPlanned(cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
+func (s *Session) execPlanned(ctx context.Context, cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
 	switch stmt := cp.stmt.(type) {
 	case *sqlparser.Begin:
 		return nil, s.begin()
@@ -191,9 +208,9 @@ func (s *Session) execPlanned(cp *cachedPlan, sql string, params map[string]sqlt
 			Text:   sql,
 		})
 	case *sqlparser.Exec:
-		return s.execProcedure(stmt, params)
+		return s.execProcedure(ctx, stmt, params)
 	case *sqlparser.Select, *sqlparser.Insert, *sqlparser.Update, *sqlparser.Delete:
-		return s.runQuery(cp, sql, params)
+		return s.runQuery(ctx, cp, sql, params)
 	default:
 		return nil, fmt.Errorf("engine: statement %T not executable at session level", cp.stmt)
 	}
@@ -315,7 +332,13 @@ func tablesOf(l plan.Logical) []string {
 	return out
 }
 
-func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
+func (s *Session) runQuery(ctx context.Context, cp *cachedPlan, sql string, params map[string]sqltypes.Value) (*Result, error) {
+	// A context already cancelled at entry fails fast, before a
+	// transaction begins or the statement registers — the deterministic
+	// floor under the asynchronous watcher below.
+	if err := ctx.Err(); err != nil {
+		return nil, &CancelledError{Reason: reasonForCause(context.Cause(ctx)), Err: err}
+	}
 	// Transaction: use the session's explicit transaction or an implicit
 	// autocommit one.
 	t := s.tx
@@ -358,6 +381,8 @@ func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltype
 		PlanCacheHit:  instances > 1,
 	}
 	s.e.registerQuery(qi)
+	s.cur.Store(qi)
+	stopWatch := s.watchCancel(ctx, qi, t)
 	h := s.e.hooksRef()
 	if h != nil {
 		h.QueryStart(qi)
@@ -368,11 +393,21 @@ func (s *Session) runQuery(cp *cachedPlan, sql string, params map[string]sqltype
 
 	res, err := s.executeBody(cp, qi, t, params)
 	dur := time.Since(qi.StartTime)
+	if stopWatch != nil {
+		stopWatch()
+	}
+	s.cur.Store(nil)
 
 	if err != nil {
 		cancelled := t.Cancelled()
 		if h != nil {
 			h.QueryAbort(qi, dur, cancelled)
+		}
+		if reason := qi.CancelReason(); cancelled && reason != CancelNone {
+			if h != nil {
+				h.QueryCancelled(qi, dur, reason)
+			}
+			err = &CancelledError{Reason: reason, Err: err}
 		}
 		s.e.unregisterQuery(qi)
 		s.abortTxn(t, ti)
@@ -451,11 +486,37 @@ func (s *Session) executeBody(cp *cachedPlan, qi *QueryInfo, t *txn.Txn, params 
 	}
 }
 
+// NoteShedStatement records a statement that admission control refused
+// before execution began: no transaction is opened and no Query.Start
+// fires — the only observable trace is one Query.Cancelled event with
+// reason shed, so overload shedding is itself monitorable through rules.
+// The statement text is still a probe (rules can aggregate what kind of
+// work is being refused).
+func (s *Session) NoteShedStatement(sql string) {
+	h := s.e.hooksRef()
+	if h == nil {
+		return
+	}
+	qi := &QueryInfo{
+		ID:           s.e.querySeq.Add(1),
+		SessionID:    s.ID,
+		User:         s.User,
+		App:          s.App,
+		RemoteAddr:   s.RemoteAddr,
+		SessionStart: s.ConnectTime,
+		Text:         sql,
+		StartTime:    time.Now(),
+	}
+	qi.MarkCancelled(CancelShed)
+	qi.done.Store(true)
+	h.QueryCancelled(qi, 0, CancelShed)
+}
+
 // ---------------------------------------------------------------------------
 // Stored procedures
 // ---------------------------------------------------------------------------
 
-func (s *Session) execProcedure(call *sqlparser.Exec, callerParams map[string]sqltypes.Value) (*Result, error) {
+func (s *Session) execProcedure(ctx context.Context, call *sqlparser.Exec, callerParams map[string]sqltypes.Value) (*Result, error) {
 	proc, err := s.e.cat.Procedure(call.Proc)
 	if err != nil {
 		return nil, err
@@ -493,7 +554,7 @@ func (s *Session) execProcedure(call *sqlparser.Exec, callerParams map[string]sq
 		}
 	}
 
-	last, err := s.execProcBody(proc.Body, locals)
+	last, err := s.execProcBody(ctx, proc.Body, locals)
 	if err != nil {
 		if s.tx != nil {
 			t, ti := s.tx, s.txInfo
@@ -512,7 +573,7 @@ func (s *Session) execProcedure(call *sqlparser.Exec, callerParams map[string]sq
 
 // execProcBody runs procedure statements, returning the result of the last
 // row-returning statement.
-func (s *Session) execProcBody(body []sqlparser.Statement, locals map[string]sqltypes.Value) (*Result, error) {
+func (s *Session) execProcBody(ctx context.Context, body []sqlparser.Statement, locals map[string]sqltypes.Value) (*Result, error) {
 	var last *Result
 	for _, stmt := range body {
 		switch st := stmt.(type) {
@@ -529,7 +590,7 @@ func (s *Session) execProcBody(body []sqlparser.Statement, locals map[string]sql
 			if !ok {
 				branch = st.Else
 			}
-			res, err := s.execProcBody(branch, locals)
+			res, err := s.execProcBody(ctx, branch, locals)
 			if err != nil {
 				return nil, err
 			}
@@ -547,7 +608,7 @@ func (s *Session) execProcBody(body []sqlparser.Statement, locals map[string]sql
 			}
 			locals[st.Name] = v
 		case *sqlparser.Exec:
-			res, err := s.execProcedure(st, locals)
+			res, err := s.execProcedure(ctx, st, locals)
 			if err != nil {
 				return nil, err
 			}
@@ -562,7 +623,7 @@ func (s *Session) execProcBody(body []sqlparser.Statement, locals map[string]sql
 			if err != nil {
 				return nil, err
 			}
-			res, err := s.execPlanned(cp, text, locals)
+			res, err := s.execPlanned(ctx, cp, text, locals)
 			if err != nil {
 				return nil, err
 			}

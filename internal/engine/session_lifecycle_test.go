@@ -1,15 +1,18 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
 
 	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/testutil"
 )
 
 func TestSessionCloseIdempotentAndRejectsUse(t *testing.T) {
 	e := newTestEngine(t)
+	defer testutil.CheckLeaks(t)()
 	s := e.NewSession("alice", "app")
 	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
 	if s.Closed() {
@@ -34,6 +37,7 @@ func TestSessionCloseIdempotentAndRejectsUse(t *testing.T) {
 
 func TestSessionCloseRollsBackOpenTxn(t *testing.T) {
 	e := newTestEngine(t)
+	defer testutil.CheckLeaks(t)()
 	s := e.NewSession("alice", "app")
 	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
 	mustExec(t, s, "BEGIN")
@@ -122,6 +126,59 @@ func TestScanParamNames(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestExecContextTimeoutCancelsLockWait: a context deadline carrying
+// CauseStatementTimeout interrupts a statement parked on a lock wait,
+// surfaces as a CancelledError with reason timeout, and leaves both the
+// session and the cancel watcher goroutine cleanly unwound.
+func TestExecContextTimeoutCancelsLockWait(t *testing.T) {
+	e := newTestEngine(t)
+	defer testutil.CheckLeaks(t)()
+	setup := e.NewSession("dba", "setup")
+	mustExec(t, setup, "CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)")
+	mustExec(t, setup, "INSERT INTO t VALUES (1, 1.0)")
+
+	holder := e.NewSession("holder", "app")
+	mustExec(t, holder, "BEGIN")
+	mustExec(t, holder, "UPDATE t SET v = 2.0 WHERE id = 1")
+
+	victim := e.NewSession("victim", "app")
+	ctx, cancel := context.WithTimeoutCause(context.Background(), 100*time.Millisecond, CauseStatementTimeout)
+	defer cancel()
+	start := time.Now()
+	_, err := victim.ExecContext(ctx, "UPDATE t SET v = 3.0 WHERE id = 1", nil)
+	var ce *CancelledError
+	if !errors.As(err, &ce) || ce.Reason != CancelTimeout {
+		t.Fatalf("blocked exec: got %v, want CancelledError with reason timeout", err)
+	}
+	if waited := time.Since(start); waited < 50*time.Millisecond {
+		t.Fatalf("statement failed after %v; it never reached the lock wait", waited)
+	}
+	mustExec(t, holder, "COMMIT")
+	// The session stays usable and the cancelled write never applied.
+	res := mustExec(t, victim, "SELECT v FROM t WHERE id = 1")
+	if res.Rows[0][0].Float() != 2.0 {
+		t.Fatalf("cancelled update applied anyway: %v", res.Rows[0][0])
+	}
+}
+
+// TestExecContextPreCancelled: a context already done at entry fails the
+// statement immediately with the context's cause mapped to a reason.
+func TestExecContextPreCancelled(t *testing.T) {
+	e := newTestEngine(t)
+	defer testutil.CheckLeaks(t)()
+	s := e.NewSession("alice", "app")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
+	ctx, cancel := context.WithTimeoutCause(context.Background(), time.Nanosecond, CauseStatementTimeout)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	var ce *CancelledError
+	if _, err := s.ExecContext(ctx, "SELECT * FROM t", nil); !errors.As(err, &ce) || ce.Reason != CancelTimeout {
+		t.Fatalf("expired context: got %v, want CancelledError with reason timeout", err)
+	}
+	// Session recovers for the next statement.
+	mustExec(t, s, "SELECT * FROM t")
 }
 
 // TestConcurrentExecRejected pins the single-goroutine contract: a second

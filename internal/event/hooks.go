@@ -87,6 +87,20 @@ func (h *Hooks) QueryAbort(q *engine.QueryInfo, dur time.Duration, cancelled boo
 	h.bus.Dispatch(ev, map[string]monitor.Object{monitor.ClassQuery: obj})
 }
 
+// QueryCancelled implements engine.Hooks: the engine terminated a
+// statement in its own defence (statement timeout, admission-control
+// shed, server drain, or an admin/rule cancel). Fires after QueryAbort
+// for statements that were executing; shed statements never started, so
+// this is their only event. The reason is exposed as Cancel_Reason.
+func (h *Hooks) QueryCancelled(q *engine.QueryInfo, dur time.Duration, reason engine.CancelReason) {
+	if !h.bus.Interested(monitor.EvQueryCancelled) {
+		return
+	}
+	obj := monitor.NewQueryObject(q, h.sigs.For(q))
+	obj.DurationAt = dur
+	h.bus.Dispatch(monitor.EvQueryCancelled, map[string]monitor.Object{monitor.ClassQuery: obj})
+}
+
 // QueryBlocked implements engine.Hooks.
 func (h *Hooks) QueryBlocked(ev engine.BlockEvent) {
 	if !h.bus.Interested(monitor.EvQueryBlocked) {

@@ -1,0 +1,105 @@
+package loadgen_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"sqlcm"
+	"sqlcm/internal/faults/netfaults"
+	"sqlcm/internal/loadgen"
+	"sqlcm/internal/server"
+	"sqlcm/internal/sim"
+	"sqlcm/internal/testutil"
+	"sqlcm/internal/workload"
+)
+
+// TestNetChaos is the netchaos CI tier (make netchaos): an open-loop
+// load run through a fault-injecting listener that afflicts 30% of
+// connections with latency, bandwidth caps, partial writes, slow-loris
+// reads, mid-frame resets and blackholes — under -race. The assertions
+// are the robustness contract: surviving connections complete with zero
+// protocol-corruption errors (every failure classifies as a timeout,
+// reset, rejection or shed — never "other"), shutdown drains within its
+// budget, and nothing leaks a goroutine.
+func TestNetChaos(t *testing.T) {
+	db, err := sqlcm.Open(sqlcm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	defer testutil.CheckLeaks(t)()
+	if _, err := workload.Setup(db.Engine(), workload.Config{Lineitems: 1000, ShortQueries: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	toxic := netfaults.Wrap(lis, netfaults.Config{Seed: 7, Fraction: 0.3})
+
+	srv, err := server.New(server.Config{
+		Listener:         toxic,
+		MaxConns:         100,
+		ReadTimeout:      2 * time.Second,
+		WriteTimeout:     2 * time.Second,
+		StatementTimeout: time.Second,
+		NewSession:       db.RemoteSession,
+		Drain:            db.Flush,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:     srv.Addr().String(),
+		Conns:    30,
+		Rate:     300,
+		Duration: 2 * time.Second,
+		Profile:  sim.ProfileBlocker,
+		Keys:     500,
+		Seed:     7,
+		// The chaos posture: broken transports are redialed, and a low
+		// client timeout turns wedged (blackholed, slow-loris) exchanges
+		// into fast classified failures instead of stalls.
+		Reconnect:     true,
+		ClientTimeout: 750 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("netchaos: %s", res)
+	t.Logf("injector: %+v", toxic.Stats())
+
+	if fs := toxic.Stats(); fs.Afflicted == 0 {
+		t.Fatalf("no connections afflicted at fraction 0.3: %+v", fs)
+	}
+	if res.Ops == 0 {
+		t.Fatalf("no statement completed under chaos: %s", res)
+	}
+	// The corruption detector: every failure must classify as an expected
+	// fault outcome. An unclassifiable error means a corrupted frame, a
+	// desynced protocol state machine, or a decode failure.
+	if res.OtherErrs != 0 {
+		t.Fatalf("unclassified (corruption-class) errors under chaos: %s", res)
+	}
+
+	// Clean drain within the budget, even with toxic connections live.
+	const drainBudget = 10 * time.Second
+	start := time.Now()
+	if err := srv.Shutdown(drainBudget); err != nil {
+		t.Fatalf("drain incomplete under chaos: %v", err)
+	}
+	if took := time.Since(start); took > drainBudget {
+		t.Fatalf("drain blew its budget: %v > %v", took, drainBudget)
+	}
+	if st := srv.Stats(); st.Active != 0 {
+		t.Fatalf("connections still active after shutdown: %+v", st)
+	}
+	// The deferred testutil.CheckLeaks asserts no goroutine survived the
+	// run: no wedged conn handlers, no abandoned reconnect loops.
+}

@@ -14,9 +14,12 @@ package loadgen
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"sqlcm/internal/server"
@@ -53,6 +56,20 @@ type Config struct {
 	User, App, Password string
 	// DialParallelism caps concurrent connection establishment (default 32).
 	DialParallelism int
+	// Reconnect makes workers survive transport failures: a broken
+	// connection is redialed with exponential backoff (and statements
+	// re-prepared) instead of retiring the worker. Initial dial failures
+	// are tolerated too — the worker keeps trying on its schedule.
+	Reconnect bool
+	// BackoffBase and BackoffMax bound the reconnect backoff (defaults
+	// 10ms and 500ms); each retry doubles the window, each sleep is
+	// jittered uniformly over the upper half of the window.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ClientTimeout bounds each dial and request/response exchange
+	// (default: the client's own 30s). Chaos runs set it low so toxic
+	// connections fail fast instead of stalling the whole run.
+	ClientTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -83,7 +100,61 @@ func (c Config) withDefaults() Config {
 	if c.DialParallelism == 0 {
 		c.DialParallelism = 32
 	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
 	return c
+}
+
+// ErrClass partitions failures for the run's accounting.
+type ErrClass int
+
+const (
+	// ClassTimeout: the statement or exchange exceeded a deadline — a
+	// client-side net timeout or the server's 57014 statement cancel.
+	ClassTimeout ErrClass = iota
+	// ClassReset: the transport died underneath the exchange (EOF,
+	// connection reset, broken pipe, use of a closed connection).
+	ClassReset
+	// ClassReject: the server refused the connection politely (too many
+	// connections, shutting down).
+	ClassReject
+	// ClassShed: the server shed the statement under overload (53400).
+	ClassShed
+	// ClassOther: everything else — in a chaos run with a correct server
+	// and protocol this class stays at zero, so it doubles as the
+	// corruption detector.
+	ClassOther
+)
+
+// Classify maps an error from Dial/Prepare/ExecPrepared onto its class.
+func Classify(err error) ErrClass {
+	var we *server.WireError
+	if errors.As(err, &we) {
+		switch we.Code {
+		case server.CodeQueryCancelled:
+			return ClassTimeout
+		case server.CodeTooManyConns, server.CodeAdminShutdown:
+			return ClassReject
+		case server.CodeOverloaded:
+			return ClassShed
+		default:
+			return ClassOther
+		}
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return ClassTimeout
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, net.ErrClosed) {
+		return ClassReset
+	}
+	return ClassOther
 }
 
 // Result summarizes one load run.
@@ -91,6 +162,12 @@ type Result struct {
 	Conns      int           `json:"conns"`
 	Ops        int64         `json:"ops"`
 	Errors     int64         `json:"errors"`
+	Timeouts   int64         `json:"timeouts"`
+	Resets     int64         `json:"resets"`
+	Rejects    int64         `json:"rejects"`
+	Sheds      int64         `json:"sheds"`
+	OtherErrs  int64         `json:"other_errors"`
+	Reconnects int64         `json:"reconnects"`
 	Elapsed    time.Duration `json:"elapsed_ns"`
 	Throughput float64       `json:"ops_per_sec"`
 	P50        time.Duration `json:"p50_ns"`
@@ -103,8 +180,9 @@ type Result struct {
 // String renders the result for terminals.
 func (r Result) String() string {
 	return fmt.Sprintf(
-		"conns=%d ops=%d errors=%d elapsed=%v throughput=%.1f/s p50=%v p90=%v p99=%v p999=%v max=%v",
-		r.Conns, r.Ops, r.Errors, r.Elapsed.Round(time.Millisecond), r.Throughput,
+		"conns=%d ops=%d errors=%d (timeout=%d reset=%d reject=%d shed=%d other=%d) reconnects=%d elapsed=%v throughput=%.1f/s p50=%v p90=%v p99=%v p999=%v max=%v",
+		r.Conns, r.Ops, r.Errors, r.Timeouts, r.Resets, r.Rejects, r.Sheds, r.OtherErrs,
+		r.Reconnects, r.Elapsed.Round(time.Millisecond), r.Throughput,
 		r.P50, r.P90, r.P99, r.P999, r.Max)
 }
 
@@ -127,15 +205,78 @@ var stmts = []struct {
 
 // worker is one connection's generator state.
 type worker struct {
-	cli  *server.Client
+	cli  *server.Client // nil while disconnected (reconnect mode)
 	r    *rand.Rand
 	lkey func() int
 	okey func() int
 	w    [6]int // profile thresholds
 
-	lats []time.Duration
-	ops  int64
-	errs int64
+	lats       []time.Duration
+	ops        int64
+	errs       int64
+	byClass    [5]int64
+	reconnects int64
+}
+
+// count records one classified error.
+func (wk *worker) count(c ErrClass) {
+	wk.errs++
+	wk.byClass[c]++
+}
+
+// connect dials and installs the prepared-statement set.
+func (wk *worker) connect(cfg Config) error {
+	cli, err := server.Dial(cfg.Addr, server.ClientConfig{
+		User: cfg.User, App: cfg.App, Password: cfg.Password,
+		Timeout: cfg.ClientTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	for _, st := range stmts {
+		if err := cli.Prepare(st.name, st.sql, st.kinds...); err != nil {
+			cli.Close() //nolint:errcheck
+			return fmt.Errorf("prepare %s: %w", st.name, err)
+		}
+	}
+	wk.cli = cli
+	return nil
+}
+
+// dropConn closes and forgets the current connection, if any.
+func (wk *worker) dropConn() {
+	if wk.cli != nil {
+		wk.cli.Close() //nolint:errcheck
+		wk.cli = nil
+	}
+}
+
+// reconnect redials with exponential backoff and jitter until it succeeds
+// or the deadline passes. Each failed attempt is classified and counted.
+func (wk *worker) reconnect(cfg Config, deadline time.Time) bool {
+	wk.dropConn()
+	backoff := cfg.BackoffBase
+	for time.Now().Before(deadline) {
+		if err := wk.connect(cfg); err == nil {
+			wk.reconnects++
+			return true
+		} else { //nolint:revive // err scoped to the branch
+			wk.count(Classify(err))
+		}
+		// Jitter over the upper half of the window decorrelates a fleet of
+		// workers all knocked loose by the same event.
+		sleep := backoff/2 + time.Duration(wk.r.Int63n(int64(backoff/2)+1))
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if backoff *= 2; backoff > cfg.BackoffMax {
+			backoff = cfg.BackoffMax
+		}
+	}
+	return false
 }
 
 // pick maps a profile roll onto a statement + parameters. The profile's
@@ -169,46 +310,39 @@ func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 
 	workers := make([]*worker, cfg.Conns)
+	for i := range workers {
+		r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		workers[i] = &worker{
+			r:    r,
+			lkey: workload.Zipf(r, cfg.Skew, cfg.Keys),
+			okey: workload.Zipf(r, cfg.Skew, cfg.OrderKeys),
+			w:    cfg.Profile.Weights(),
+		}
+	}
 	var dialWG sync.WaitGroup
 	dialErr := make(chan error, cfg.Conns)
 	sem := make(chan struct{}, cfg.DialParallelism)
-	for i := range workers {
+	for i, wk := range workers {
 		dialWG.Add(1)
-		go func(i int) {
+		go func(i int, wk *worker) {
 			defer dialWG.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			cli, err := server.Dial(cfg.Addr, server.ClientConfig{
-				User: cfg.User, App: cfg.App, Password: cfg.Password,
-			})
-			if err != nil {
-				dialErr <- fmt.Errorf("loadgen: conn %d: %w", i, err)
-				return
-			}
-			for _, st := range stmts {
-				if err := cli.Prepare(st.name, st.sql, st.kinds...); err != nil {
-					cli.Close() //nolint:errcheck
-					dialErr <- fmt.Errorf("loadgen: conn %d prepare %s: %w", i, st.name, err)
+			if err := wk.connect(cfg); err != nil {
+				if cfg.Reconnect {
+					// Tolerated: the worker retries on its schedule.
+					wk.count(Classify(err))
 					return
 				}
+				dialErr <- fmt.Errorf("loadgen: conn %d: %w", i, err)
 			}
-			r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-			workers[i] = &worker{
-				cli:  cli,
-				r:    r,
-				lkey: workload.Zipf(r, cfg.Skew, cfg.Keys),
-				okey: workload.Zipf(r, cfg.Skew, cfg.OrderKeys),
-				w:    cfg.Profile.Weights(),
-			}
-		}(i)
+		}(i, wk)
 	}
 	dialWG.Wait()
 	select {
 	case err := <-dialErr:
 		for _, wk := range workers {
-			if wk != nil {
-				wk.cli.Close() //nolint:errcheck
-			}
+			wk.dropConn()
 		}
 		return Result{}, err
 	default:
@@ -224,18 +358,28 @@ func Run(cfg Config) (Result, error) {
 		runWG.Add(1)
 		go func(i int, wk *worker) {
 			defer runWG.Done()
-			defer wk.cli.Close() //nolint:errcheck
+			defer wk.dropConn()
 			next := start.Add(time.Duration(i) * interval / time.Duration(cfg.Conns))
 			for next.Before(deadline) {
 				if d := time.Until(next); d > 0 {
 					time.Sleep(d)
 				}
+				if wk.cli == nil {
+					if !cfg.Reconnect || !wk.reconnect(cfg, deadline) {
+						return
+					}
+				}
 				name, values := wk.pick()
 				if _, err := wk.cli.ExecPrepared(name, values...); err != nil {
-					wk.errs++
+					wk.count(Classify(err))
 					var we *server.WireError
 					if !errors.As(err, &we) {
-						return // transport broken: this connection is done
+						// Transport broken: retire the worker, or drop the
+						// connection and let the next tick redial.
+						if !cfg.Reconnect {
+							return
+						}
+						wk.dropConn()
 					}
 				} else {
 					wk.ops++
@@ -253,6 +397,12 @@ func Run(cfg Config) (Result, error) {
 	for _, wk := range workers {
 		res.Ops += wk.ops
 		res.Errors += wk.errs
+		res.Timeouts += wk.byClass[ClassTimeout]
+		res.Resets += wk.byClass[ClassReset]
+		res.Rejects += wk.byClass[ClassReject]
+		res.Sheds += wk.byClass[ClassShed]
+		res.OtherErrs += wk.byClass[ClassOther]
+		res.Reconnects += wk.reconnects
 		all = append(all, wk.lats...)
 	}
 	res.Throughput = float64(res.Ops) / elapsed.Seconds()

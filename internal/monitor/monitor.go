@@ -74,6 +74,13 @@ var (
 	EvTimerAlarm         = Event{ClassTimer, "Alarm"}
 	EvLATRowEvicted      = Event{ClassLATRow, "Evicted"}
 	EvRuleQuarantined    = Event{ClassMonitor, "RuleQuarantined"}
+	// EvQueryCancelled fires when the engine defensively cancels a
+	// statement (statement timeout, admission-control shed, server
+	// drain, or an admin/rule cancel); the Cancel_Reason probe carries
+	// the attribution. Distinct from Query.Cancel, which classifies any
+	// cancelled abort: Cancelled is the engine monitoring its own
+	// defensive actions — a monitored dimension the paper never had.
+	EvQueryCancelled = Event{ClassQuery, "Cancelled"}
 )
 
 // allEvents lists the schema's events in declaration order; its positions
@@ -83,6 +90,9 @@ var allEvents = []Event{
 	EvQueryRollback, EvQueryBlocked, EvQueryBlockReleased,
 	EvTxnCommit, EvTxnRollback, EvTimerAlarm, EvLATRowEvicted,
 	EvRuleQuarantined,
+	// Later schema additions append here so earlier dense indices stay
+	// stable.
+	EvQueryCancelled,
 }
 
 // eventByName and eventIndex are built once at package init so event
@@ -356,6 +366,13 @@ func (q *QueryObject) Get(attr string) (sqltypes.Value, bool) {
 			return sqltypes.Null, true
 		}
 		return sqltypes.NewFloat(now().Sub(info.SessionStart).Seconds()), true
+	case "Cancel_Reason":
+		// NULL unless the statement was defensively cancelled, so rules
+		// matching on a reason never fire for ordinary statements.
+		if r := info.CancelReason(); r != engine.CancelNone {
+			return sqltypes.NewString(r.String()), true
+		}
+		return sqltypes.Null, true
 	default:
 		return sqltypes.Null, false
 	}

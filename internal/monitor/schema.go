@@ -40,6 +40,7 @@ func QueryAttributes() []Attribute {
 		{Name: "Remote_Addr", Kind: sqltypes.KindString, Doc: "client address (NULL for embedded sessions)"},
 		{Name: "Connect_Time", Kind: sqltypes.KindTime, Doc: "owning session's connect time"},
 		{Name: "Session_Age", Kind: sqltypes.KindFloat, Doc: "owning session's age (s)"},
+		{Name: "Cancel_Reason", Kind: sqltypes.KindString, Doc: "defensive-cancel attribution: admin/timeout/shed/drain (NULL otherwise)"},
 	}
 }
 
@@ -132,7 +133,7 @@ func AttrKind(class, attr string) (sqltypes.Kind, bool) {
 // to no object at runtime.
 func BoundClasses(ev Event) []string {
 	switch ev {
-	case EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel, EvQueryRollback:
+	case EvQueryStart, EvQueryCompile, EvQueryCommit, EvQueryCancel, EvQueryRollback, EvQueryCancelled:
 		return []string{ClassQuery}
 	case EvQueryBlocked:
 		return []string{ClassQuery, ClassBlocked, ClassBlocker}

@@ -12,9 +12,10 @@ import (
 // harness, the smoke tier and the wire tests. One Client drives one
 // connection from one goroutine.
 type Client struct {
-	nc net.Conn
-	pr *protoReader
-	pw *protoWriter
+	nc      net.Conn
+	pr      *protoReader
+	pw      *protoWriter
+	timeout time.Duration
 }
 
 // ClientConfig tunes a Dial.
@@ -45,7 +46,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{nc: nc, pr: newProtoReader(nc), pw: newProtoWriter(nc)}
+	c := &Client{nc: nc, pr: newProtoReader(nc), pw: newProtoWriter(nc), timeout: cfg.Timeout}
 	c.deadline(cfg.Timeout)
 	params := map[string]string{"user": cfg.User}
 	if cfg.App != "" {
@@ -116,7 +117,7 @@ func (c *Client) Close() error {
 
 // Query runs one statement through the simple-query protocol.
 func (c *Client) Query(sql string) (*Rows, error) {
-	c.deadline(30 * time.Second)
+	c.deadline(c.timeout)
 	c.pw.begin(msgQuery)
 	c.pw.putString(sql)
 	if err := c.pw.end(); err != nil {
@@ -132,7 +133,7 @@ func (c *Client) Query(sql string) (*Rows, error) {
 // type hints in the statement's first-appearance @param order (missing
 // entries default to string).
 func (c *Client) Prepare(name, sql string, kinds ...sqltypes.Kind) error {
-	c.deadline(30 * time.Second)
+	c.deadline(c.timeout)
 	c.pw.begin(msgParse)
 	c.pw.putString(name)
 	c.pw.putString(sql)
@@ -152,7 +153,7 @@ func (c *Client) Prepare(name, sql string, kinds ...sqltypes.Kind) error {
 // ExecPrepared binds values (text format, nil-pointer semantics via NULL
 // handled by sqltypes.Null) to a named statement and executes it.
 func (c *Client) ExecPrepared(name string, values ...sqltypes.Value) (*Rows, error) {
-	c.deadline(30 * time.Second)
+	c.deadline(c.timeout)
 	c.pw.begin(msgBind)
 	c.pw.putString("") // unnamed portal
 	c.pw.putString(name)

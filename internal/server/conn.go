@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sync/atomic"
@@ -21,6 +23,9 @@ type conn struct {
 	pr   *protoReader
 	pw   *protoWriter
 	sess *engine.Session
+	// sessp mirrors sess for cross-goroutine readers (the drain-cancel
+	// path); the serve goroutine itself uses the plain field.
+	sessp atomic.Pointer[engine.Session]
 
 	// stmts holds the connection's named prepared statements; portals
 	// bind parameter values to one of them. Single-goroutine state.
@@ -57,8 +62,23 @@ type portal struct {
 func (c *conn) beginDrain() {
 	c.draining.Store(true)
 	if !c.inCommand.Load() {
-		c.nc.SetReadDeadline(time.Now()) //nolint:errcheck
+		if err := c.nc.SetReadDeadline(time.Now()); err != nil {
+			// The wake-up cannot be armed: without it the idle read
+			// would outlive the drain window, so cut the connection.
+			c.nc.Close() //nolint:errcheck
+		}
 	}
+}
+
+// cancelForDrain cancels the connection's in-flight statement (if any)
+// with reason drain. Called from the shutdown goroutine once the
+// graceful window has lapsed; it touches the conn only through atomics.
+func (c *conn) cancelForDrain() bool {
+	sess := c.sessp.Load()
+	if sess == nil {
+		return false
+	}
+	return sess.CancelCurrent(engine.CancelDrain)
 }
 
 // serve runs the connection: handshake, then the command loop.
@@ -75,14 +95,18 @@ func (c *conn) serve() {
 	}
 	c.sess = c.srv.cfg.NewSession(user, app, c.nc.RemoteAddr().String())
 	c.sess.PinOwner()
+	c.sessp.Store(c.sess)
 	defer c.sess.Close() //nolint:errcheck
 
 	for {
 		// Deadline before the draining check: beginDrain stores the flag
 		// and then arms an immediate read deadline, so whichever order the
 		// two goroutines interleave in, this loop either sees the flag here
-		// or keeps the immediate deadline and wakes from the read below.
-		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+		// or keeps the immediate deadline and wakes from the read below. A
+		// deadline we cannot set means a dead connection: stop serving it.
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)); err != nil {
+			return
+		}
 		if c.draining.Load() {
 			c.pw.writeError(codeAdminShutdown, "server is shutting down") //nolint:errcheck
 			c.flush()                                                     //nolint:errcheck
@@ -136,7 +160,9 @@ func (c *conn) dispatch(typ byte, body []byte) bool {
 // identity. On failure the error has been written and the connection is
 // done.
 func (c *conn) handshake() (user, app string, ok bool) {
-	c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)); err != nil {
+		return "", "", false
+	}
 	body, err := c.pr.readStartup()
 	if err != nil {
 		return "", "", false
@@ -184,9 +210,11 @@ func (c *conn) handshake() (user, app string, ok bool) {
 	if c.srv.cfg.Password != "" {
 		c.pw.begin(msgAuth)
 		c.pw.putInt32(authCleartext)
-		c.pw.end()                                                  //nolint:errcheck
-		c.flush()                                                   //nolint:errcheck
-		c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)) //nolint:errcheck
+		c.pw.end() //nolint:errcheck
+		c.flush()  //nolint:errcheck
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout)); err != nil {
+			return "", "", false
+		}
 		typ, body, err := c.pr.readMessage()
 		if err != nil || typ != msgPassword {
 			return "", "", false
@@ -237,7 +265,9 @@ func (c *conn) ready() bool {
 
 // flush pushes buffered output under the write deadline.
 func (c *conn) flush() error {
-	c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout)) //nolint:errcheck
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout)); err != nil {
+		return err
+	}
 	return c.pw.flush()
 }
 
@@ -257,15 +287,62 @@ func (c *conn) handleSimpleQuery(body []byte) bool {
 		c.pw.end() //nolint:errcheck
 		return c.ready()
 	}
-	res, execErr := c.sess.Exec(sql, nil)
+	if c.shedStatement(sql) {
+		c.srv.errors.Add(1)
+		c.pw.writeError(codeOverloaded, shedMessage) //nolint:errcheck
+		return c.ready()
+	}
+	ctx, cancel := c.stmtCtx()
+	res, execErr := c.sess.ExecContext(ctx, sql, nil)
+	cancel()
 	c.srv.statements.Add(1)
 	if execErr != nil {
 		c.srv.errors.Add(1)
-		c.pw.writeError(codeSyntaxOrExec, execErr.Error()) //nolint:errcheck
+		c.pw.writeError(execErrCode(c.srv, execErr), execErr.Error()) //nolint:errcheck
 		return c.ready()
 	}
 	c.writeResult(res)
 	return c.ready()
+}
+
+// shedMessage is the retryable refusal clients see when admission
+// control sheds a statement.
+const shedMessage = "statement shed: monitor overloaded, retry later"
+
+// shedStatement consults the overload predicate and, when shedding,
+// records the refusal as a Query.Cancelled event (reason shed) so the
+// defensive action is itself monitored.
+func (c *conn) shedStatement(sql string) bool {
+	if c.srv.cfg.Overloaded == nil || !c.srv.cfg.Overloaded() {
+		return false
+	}
+	c.srv.shed.Add(1)
+	c.sess.NoteShedStatement(sql)
+	return true
+}
+
+// stmtCtx builds the per-statement context carrying the configured
+// statement timeout (a no-op background context when disabled).
+func (c *conn) stmtCtx() (context.Context, context.CancelFunc) {
+	st := c.srv.cfg.StatementTimeout
+	if st <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeoutCause(context.Background(), st, engine.CauseStatementTimeout)
+}
+
+// execErrCode maps a statement failure onto its wire code: defensive
+// cancellations (timeout, shed, drain, admin) are the retryable 57014,
+// everything else is the generic execution error.
+func execErrCode(srv *Server, err error) string {
+	var ce *engine.CancelledError
+	if errors.As(err, &ce) {
+		if ce.Reason == engine.CancelTimeout || ce.Reason == engine.CancelDrain {
+			srv.cancelled.Add(1)
+		}
+		return codeQueryCancelled
+	}
+	return codeSyntaxOrExec
 }
 
 // writeResult frames a statement result: RowDescription + DataRows for
@@ -466,10 +543,15 @@ func (c *conn) handleExecute(body []byte) bool {
 	if !ok {
 		return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown portal %q", portalName))
 	}
-	res, execErr := pt.stmt.ps.Exec(pt.params)
+	if c.shedStatement(pt.stmt.ps.SQL()) {
+		return c.extendedError(codeOverloaded, errors.New(shedMessage))
+	}
+	ctx, cancel := c.stmtCtx()
+	res, execErr := pt.stmt.ps.ExecContext(ctx, pt.params)
+	cancel()
 	c.srv.statements.Add(1)
 	if execErr != nil {
-		return c.extendedError(codeSyntaxOrExec, execErr)
+		return c.extendedError(execErrCode(c.srv, execErr), execErr)
 	}
 	// Deviation from PostgreSQL: the RowDescription rides with Execute
 	// (row shapes are only known after execution here), so clients skip

@@ -19,7 +19,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"net"
 	"strconv"
 	"time"
 
@@ -190,7 +189,7 @@ type protoReader struct {
 	r *bufio.Reader
 }
 
-func newProtoReader(c net.Conn) *protoReader {
+func newProtoReader(c io.Reader) *protoReader {
 	return &protoReader{r: bufio.NewReaderSize(c, 8<<10)}
 }
 
@@ -222,9 +221,19 @@ func (pr *protoReader) readLenPayload() ([]byte, error) {
 	if n < 4 || n > maxMessageLen {
 		return nil, fmt.Errorf("server: bad message length %d", n)
 	}
-	payload := make([]byte, n-4)
-	if _, err := io.ReadFull(pr.r, payload); err != nil {
-		return nil, err
+	// Read in bounded chunks, growing as bytes actually arrive: a hostile
+	// length prefix on a tiny input costs one chunk of allocation, not the
+	// full declared size.
+	const chunk = 64 << 10
+	want := int(n - 4)
+	payload := make([]byte, 0, min(want, chunk))
+	for len(payload) < want {
+		step := min(want-len(payload), chunk)
+		off := len(payload)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(pr.r, payload[off:]); err != nil {
+			return nil, err
+		}
 	}
 	return payload, nil
 }
@@ -305,7 +314,7 @@ type protoWriter struct {
 	inMsg bool
 }
 
-func newProtoWriter(c net.Conn) *protoWriter {
+func newProtoWriter(c io.Writer) *protoWriter {
 	return &protoWriter{w: bufio.NewWriterSize(c, 8<<10)}
 }
 
@@ -397,6 +406,17 @@ const (
 	codeSyntaxOrExec      = "42601"
 	codeDuplicateStmt     = "42P05"
 	codeUndefinedStmt     = "26000"
+	codeQueryCancelled    = "57014" // statement cancelled defensively (timeout/drain); retryable
+	codeOverloaded        = "53400" // statement shed by admission control; retryable
+)
+
+// Exported aliases for the codes clients classify on: connection-level
+// refusals and the two retryable defensive refusals.
+const (
+	CodeTooManyConns   = codeTooManyConns
+	CodeAdminShutdown  = codeAdminShutdown
+	CodeQueryCancelled = codeQueryCancelled
+	CodeOverloaded     = codeOverloaded
 )
 
 // writeError frames one ErrorResponse.

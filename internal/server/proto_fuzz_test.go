@@ -1,0 +1,102 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// frame builds one typed wire message for the seed corpus.
+func frame(typ byte, body []byte) []byte {
+	out := make([]byte, 0, 5+len(body))
+	out = append(out, typ)
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(body)+4))
+	out = append(out, n[:]...)
+	return append(out, body...)
+}
+
+// FuzzProtoFrame drives the frame parser and the payload cursor over
+// arbitrary bytes: truncated frames, hostile length prefixes, embedded
+// NULs, oversized declarations. The invariant is simply that parsing
+// terminates with an error or a bounded message — never a panic and
+// never an allocation proportional to a declared-but-absent length.
+func FuzzProtoFrame(f *testing.F) {
+	f.Add(frame(msgQuery, append([]byte("SELECT 1"), 0)))
+	f.Add(frame(msgTerminate, nil))
+	// Parse with one kind hint.
+	parse := append([]byte("stmt\x00SELECT @a\x00"), 0, 1, 0, 0, 0, 20)
+	f.Add(frame(msgParse, parse))
+	// Bind with one NULL parameter.
+	bind := append([]byte("\x00stmt\x00"), 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 0, 0)
+	f.Add(frame(msgBind, bind))
+	// Error response round trip.
+	errBody := []byte("SERROR\x00C42601\x00Mboom\x00\x00")
+	f.Add(frame(msgErrorResponse, errBody))
+	// Length prefix far larger than the data behind it.
+	f.Add([]byte{msgQuery, 0x00, 0xff, 0xff, 0xff, 'x'})
+	// Length prefix below the 4-byte minimum, and a negative one.
+	f.Add([]byte{msgQuery, 0x00, 0x00, 0x00, 0x02})
+	f.Add([]byte{msgQuery, 0xff, 0xff, 0xff, 0xfe})
+	// Startup-shaped payload (no type byte).
+	f.Add([]byte{0x00, 0x00, 0x00, 0x09, 0x00, 0x03, 0x00, 0x00, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Startup path first: untyped length-prefixed payload.
+		if body, err := newProtoReader(bytes.NewReader(data)).readStartup(); err == nil {
+			p := payload{b: body}
+			p.int32()   //nolint:errcheck
+			p.cstring() //nolint:errcheck
+			p.cstring() //nolint:errcheck
+		}
+		// Typed message stream: parse frames until the input runs out,
+		// walking each payload the way the handlers do.
+		pr := newProtoReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ {
+			typ, body, err := pr.readMessage()
+			if err != nil {
+				return
+			}
+			if len(body) > maxMessageLen {
+				t.Fatalf("message %q exceeds maxMessageLen: %d", typ, len(body))
+			}
+			p := payload{b: body}
+			switch typ {
+			case msgQuery:
+				p.cstring() //nolint:errcheck
+			case msgParse:
+				p.cstring() //nolint:errcheck
+				p.cstring() //nolint:errcheck
+				if n, err := p.int16(); err == nil {
+					for j := 0; j < int(n); j++ {
+						if _, err := p.int32(); err != nil {
+							break
+						}
+					}
+				}
+			case msgBind:
+				p.cstring() //nolint:errcheck
+				p.cstring() //nolint:errcheck
+				if n, err := p.int16(); err == nil {
+					for j := 0; j < int(n); j++ {
+						if _, err := p.int16(); err != nil {
+							break
+						}
+					}
+				}
+				if n, err := p.int16(); err == nil {
+					for j := 0; j < int(n); j++ {
+						if _, _, err := p.lenBytes(); err != nil {
+							break
+						}
+					}
+				}
+			case msgErrorResponse:
+				parseError(body)
+			default:
+				p.byte()    //nolint:errcheck
+				p.cstring() //nolint:errcheck
+			}
+		}
+	})
+}

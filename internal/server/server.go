@@ -30,6 +30,25 @@ type Config struct {
 	// statements get this long to finish before their connections are
 	// force-closed. 0 means the default of 10s.
 	DrainTimeout time.Duration
+	// AdmissionWait is the accept-queue backpressure window: a
+	// connection arriving while all MaxConns slots are taken waits up to
+	// this long for a slot before the polite "too many connections"
+	// refusal. 0 refuses immediately.
+	AdmissionWait time.Duration
+	// StatementTimeout bounds each statement's execution; a statement
+	// exceeding it is cancelled at the next row-iteration or lock-wait
+	// boundary and the client gets a retryable 57014 error plus a
+	// Query.Cancelled event with reason timeout. 0 disables.
+	StatementTimeout time.Duration
+	// Overloaded, when set, is consulted before every statement: true
+	// sheds the statement with a retryable 53400 error (and one
+	// Query.Cancelled event, reason shed) instead of queueing it behind
+	// an overloaded monitor. sqlcm-serve wires it to the event bus's
+	// EWMA dispatch-budget state.
+	Overloaded func() bool
+	// Listener, when set, is served instead of binding Addr — the hook
+	// chaos harnesses use to interpose a fault-injecting listener.
+	Listener net.Listener
 	// Password, when set, arms cleartext-password authentication; empty
 	// trusts every client.
 	Password string
@@ -66,6 +85,8 @@ type Stats struct {
 	Active     int64 // connections currently open
 	Statements int64 // wire statements executed (simple + extended)
 	Errors     int64 // error responses sent
+	Shed       int64 // statements refused by overload shedding
+	Cancelled  int64 // statements cancelled by timeout or drain
 }
 
 // Server is the TCP front-end: an accept loop handing each connection a
@@ -79,14 +100,23 @@ type Server struct {
 	mu    lockcheck.Mutex
 	conns map[*conn]struct{}
 
+	// slots is the admission semaphore: one token per live connection,
+	// capacity MaxConns. Admission takes a token (waiting up to
+	// AdmissionWait — the accept-queue backpressure), untrack returns
+	// it. The conns map stays the drain-time snapshot source.
+	slots chan struct{}
+
 	wg       sync.WaitGroup // connection goroutines
 	acceptWG sync.WaitGroup // the accept loop itself
 	closing  atomic.Bool
+	stopping chan struct{} // closed by Shutdown; aborts admission waits
 
 	accepted   atomic.Int64
 	rejected   atomic.Int64
 	statements atomic.Int64
 	errors     atomic.Int64
+	shed       atomic.Int64
+	cancelled  atomic.Int64
 }
 
 // New builds a server; Start brings up the listener.
@@ -95,17 +125,24 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: Config.NewSession is required")
 	}
 	s := &Server{cfg: cfg.withDefaults(), conns: make(map[*conn]struct{})}
+	s.slots = make(chan struct{}, s.cfg.MaxConns)
+	s.stopping = make(chan struct{})
 	s.mu.SetClass("server.conns")
 	return s, nil
 }
 
-// Start binds the listen address and launches the accept loop.
+// Start binds the listen address (or adopts Config.Listener) and
+// launches the accept loop.
 func (s *Server) Start() error {
-	lis, err := net.Listen("tcp", s.cfg.Addr)
-	if err != nil {
-		return err
+	if s.cfg.Listener != nil {
+		s.lis = s.cfg.Listener
+	} else {
+		lis, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			return err
+		}
+		s.lis = lis
 	}
-	s.lis = lis
 	s.acceptWG.Add(1)
 	go s.acceptLoop()
 	return nil
@@ -125,6 +162,8 @@ func (s *Server) Stats() Stats {
 		Active:     active,
 		Statements: s.statements.Load(),
 		Errors:     s.errors.Load(),
+		Shed:       s.shed.Load(),
+		Cancelled:  s.cancelled.Load(),
 	}
 }
 
@@ -142,7 +181,7 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		c := &conn{srv: s, nc: nc}
-		if !s.track(c) {
+		if !s.admit(c) {
 			s.rejected.Add(1)
 			s.refuse(nc, codeTooManyConns, "too many connections")
 			continue
@@ -157,32 +196,52 @@ func (s *Server) acceptLoop() {
 }
 
 // refuse answers a connection we will not serve with an error response
-// and closes it (best effort; the client may not even read it).
+// and closes it (best effort; the client may not even read it, so the
+// deadline failure mode is just a faster close).
 func (s *Server) refuse(nc net.Conn, code, msg string) {
-	nc.SetWriteDeadline(time.Now().Add(2 * time.Second)) //nolint:errcheck
-	pw := newProtoWriter(nc)
-	pw.writeError(code, msg) //nolint:errcheck
-	pw.flush()               //nolint:errcheck
-	nc.Close()               //nolint:errcheck
+	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err == nil {
+		pw := newProtoWriter(nc)
+		pw.writeError(code, msg) //nolint:errcheck
+		pw.flush()               //nolint:errcheck
+	}
+	nc.Close() //nolint:errcheck
 }
 
-// track admits a connection under the MaxConns limit.
-func (s *Server) track(c *conn) bool {
-	s.mu.Lock()
-	if len(s.conns) >= s.cfg.MaxConns {
-		s.mu.Unlock()
-		return false
+// admit takes an admission slot for a connection, waiting up to
+// AdmissionWait when the server is at MaxConns (the accept-queue
+// backpressure window: a burst that merely overshoots the cap briefly is
+// absorbed instead of refused). false means the connection must be
+// politely rejected. The accept loop blocks while waiting, which is the
+// point — backpressure propagates to the kernel accept queue.
+func (s *Server) admit(c *conn) bool {
+	select {
+	case s.slots <- struct{}{}:
+	default:
+		if s.cfg.AdmissionWait <= 0 {
+			return false
+		}
+		t := time.NewTimer(s.cfg.AdmissionWait)
+		defer t.Stop()
+		select {
+		case s.slots <- struct{}{}:
+		case <-t.C:
+			return false
+		case <-s.stopping:
+			return false
+		}
 	}
+	s.mu.Lock()
 	s.conns[c] = struct{}{}
 	s.mu.Unlock()
 	return true
 }
 
-// untrack removes a finished connection.
+// untrack removes a finished connection and returns its admission slot.
 func (s *Server) untrack(c *conn) {
 	s.mu.Lock()
 	delete(s.conns, c)
 	s.mu.Unlock()
+	<-s.slots
 }
 
 // connSnapshot copies the live-connection set (lock held only for the
@@ -203,13 +262,16 @@ var ErrDrainIncomplete = errors.New("server: shutdown drain incomplete")
 
 // Shutdown stops the server with the outbox drain discipline: stop
 // accepting, wake idle connections and let in-flight statements finish
-// under the drain deadline, force-close stragglers, then hand the
-// remaining budget to the Drain hook (the monitoring outbox). It returns
-// ErrDrainIncomplete (wrapped with detail) if anything was abandoned.
+// under the drain deadline, cancel statements that outlive the graceful
+// window (reason drain, observable as Query.Cancelled), force-close
+// stragglers, then hand the remaining budget to the Drain hook (the
+// monitoring outbox). It returns ErrDrainIncomplete (wrapped with
+// detail) if anything was abandoned.
 func (s *Server) Shutdown(timeout time.Duration) error {
 	if s.closing.Swap(true) {
 		return nil
 	}
+	close(s.stopping)
 	if timeout <= 0 {
 		timeout = s.cfg.DrainTimeout
 	}
@@ -228,9 +290,26 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 		c.beginDrain()
 	}
 
-	// 3. Wait for connection goroutines up to the deadline, then force-
-	// close whatever is left and collect the goroutines.
-	graceful := waitTimeout(&s.wg, time.Until(deadline))
+	// 3. Wait for connection goroutines. Most of the budget is the
+	// graceful window; statements still running when it ends are
+	// cancelled with reason drain (they fail at their next row-iteration
+	// or lock-wait boundary, their clients get a retryable 57014) and
+	// given the rest of the budget to unwind. Only connections that
+	// survive even that are force-closed.
+	grace := timeout / 5
+	if grace > time.Second {
+		grace = time.Second
+	}
+	graceful := waitTimeout(&s.wg, time.Until(deadline.Add(-grace)))
+	if !graceful {
+		// The Cancelled counter is bumped where the statement's failure is
+		// mapped onto the wire (execErrCode), not here — a cancel that
+		// lands after the statement completed should not count.
+		for _, c := range s.connSnapshot() {
+			c.cancelForDrain()
+		}
+		graceful = waitTimeout(&s.wg, time.Until(deadline))
+	}
 	var forced int
 	if !graceful {
 		for _, c := range s.connSnapshot() {

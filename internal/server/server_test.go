@@ -3,7 +3,6 @@ package server_test
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +14,7 @@ import (
 	"sqlcm/internal/rules"
 	"sqlcm/internal/server"
 	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/testutil"
 )
 
 // startServer brings up a monitored DB behind an in-process listener on a
@@ -300,10 +300,10 @@ func TestWireSigCacheExactlyOnce(t *testing.T) {
 // outbox with zero dead-lettered Persist actions, and leaks no goroutines.
 func TestGracefulDrainUnderLoad(t *testing.T) {
 	db, srv := startServer(t, func(c *server.Config) { c.DrainTimeout = 5 * time.Second })
-	// Baseline after the DB and listener are up: the DB's outbox workers
+	// Snapshot after the DB and listener are up: the DB's outbox workers
 	// live until db.Close, so the leak check covers exactly the goroutines
 	// Shutdown owns — the accept loop, connection handlers, drain helpers.
-	baseline := runtime.NumGoroutine()
+	defer testutil.CheckLeaks(t)()
 	if _, err := db.NewRule("persist_all", "Query.Commit", "Query.Query_Type = 'SELECT'",
 		&sqlcm.PersistAction{Table: "audit_log", Attrs: []string{"ID", "Query_Text", "Duration"}}); err != nil {
 		t.Fatal(err)
@@ -369,21 +369,8 @@ func TestGracefulDrainUnderLoad(t *testing.T) {
 	if err != nil || len(rows) == 0 {
 		t.Fatalf("audit_log after drain: %d rows, err %v", len(rows), err)
 	}
-
-	// No leaked goroutines: connection handlers, accept loop and drain
-	// helpers are all gone (give the runtime a moment to reap).
-	gdeadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= baseline+2 {
-			break
-		}
-		if time.Now().After(gdeadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
-				baseline, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	// The deferred testutil.CheckLeaks verifies the accept loop, connection
+	// handlers and drain helpers are all gone.
 }
 
 // TestSessionsClosedOnDisconnect: a client that terminates mid-transaction

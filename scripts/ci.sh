@@ -39,6 +39,13 @@ go test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
 # statement errors, and a clean graceful drain (see internal/loadgen).
 go test -race -count=1 -run TestServeSmoke ./internal/loadgen/
 
+# Netchaos tier: the same harness through the fault-injecting listener
+# (internal/faults/netfaults), 30% toxic connections — latency, bandwidth
+# caps, partial writes, slow-loris reads, mid-frame resets, blackholes —
+# under -race. Gates on zero protocol-corruption errors on surviving
+# connections, a clean drain within budget, and no leaked goroutines.
+go test -race -count=1 -run TestNetChaos ./internal/loadgen/
+
 # Sim tier: the deterministic simulation harness. Seeded workloads replay
 # through the real monitoring stack and a naive sequential oracle in
 # lockstep; every journal entry and every LAT cell must match after every
@@ -51,4 +58,7 @@ SQLCM_SIM_SEEDS=64 go test -count=1 ./internal/sim/
 # percentages recorded when the differential oracle was introduced.
 ./scripts/coverfloor.sh
 
+# Fuzz smoke (one -fuzz target per invocation): the placeholder
+# substitution scanner and the wire-protocol frame parser.
 go test -run='^$' -fuzz=FuzzSubstitute -fuzztime=30s ./internal/rules/
+go test -run='^$' -fuzz=FuzzProtoFrame -fuzztime=30s ./internal/server/
