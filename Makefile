@@ -1,20 +1,31 @@
 GO ?= go
 
-.PHONY: build vet lint test race chaos netchaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
+.PHONY: build vet vet-bench lint test race chaos netchaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
 
 build:
 	$(GO) build ./...
 
-# Vet tier: go vet plus SQLCM's own analyzers — the hot-path and
-# recover-discipline source checks, the lock-hierarchy checker over the
-# //sqlcm:lock annotations, and static analysis of the shipped rule sets
-# (which must be finding-free even in strict mode). docs/lock-order.md
-# must match the annotations.
+# Vet tier: go vet plus SQLCM's own analyzers (sqlcm-vet -analyzers lists
+# them) — hot-path hygiene, the rule-callback recover discipline, context
+# propagation, cancellation-point proofs, goroutine ownership, the
+# SQLSTATE single-source check, and the lock-hierarchy checker fed the
+# type-aware layer's cross-package acquire summaries — and static
+# analysis of the shipped rule sets (which must be finding-free even in
+# strict mode). docs/lock-order.md must match the annotations.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/sqlcm-vet -code .
 	$(GO) run ./cmd/sqlcm-vet -lockdoc .
 	$(GO) run ./cmd/sqlcm-vet -mode strict examples/rulesets
+
+# Analyzer latency budget: the whole-tree type-aware -code run must stay
+# under 30 seconds (it currently runs in a few) so it can live in
+# precommit workflows; a loader regression that re-type-checks the
+# standard library per package would blow this immediately.
+vet-bench:
+	@start=$$(date +%s); $(GO) run ./cmd/sqlcm-vet -code .; end=$$(date +%s); \
+	elapsed=$$((end-start)); echo "sqlcm-vet -code . took $${elapsed}s (budget 30s)"; \
+	test $$elapsed -le 30
 
 # Lint tier: staticcheck at a pinned version (offline fallback runs the
 # in-repo analyzers instead), on top of the vet tier.

@@ -6,6 +6,7 @@
 //	sqlcm-vet [-mode strict|warn] file.rules [dir ...]
 //	sqlcm-vet -code [dir ...]
 //	sqlcm-vet -lockdoc [-write] [dir]
+//	sqlcm-vet -analyzers
 //
 // In rules mode each argument is a .rules file or a directory searched
 // recursively for .rules files. Every file is parsed and the whole set is
@@ -15,11 +16,17 @@
 // duplicate/shadowed rules.
 //
 // In -code mode each argument is a directory tree whose Go packages are
-// run through SQLCM's custom source analyzers (hot-path hygiene and the
-// recover discipline for rule callbacks; see internal/analysis) and
-// through the lock-hierarchy checker (declared //sqlcm:lock order,
-// missing unlocks, sends and outbox enqueues under latches; see
-// internal/lockcheck/check).
+// loaded, type-checked (offline, against GOROOT source) and run through
+// SQLCM's custom source analyzers — hot-path hygiene, the recover
+// discipline for rule callbacks, context propagation, cancellation-point
+// proofs for //sqlcm:cancellable loops, goroutine ownership, and the
+// SQLSTATE single-source check; see internal/analysis — and through the
+// lock-hierarchy checker (declared //sqlcm:lock order, missing unlocks,
+// sends and outbox enqueues under latches; see internal/lockcheck/check),
+// which additionally receives the analysis layer's cross-package lock
+// summaries so a call into another package that can reach a classified
+// latch is order-checked like a local acquire. -analyzers lists the
+// registered checks.
 //
 // In -lockdoc mode the tree's //sqlcm:lock annotations are rendered as
 // docs/lock-order.md: with -write the file is regenerated, without it the
@@ -54,14 +61,23 @@ func run(args []string, out, errw io.Writer) int {
 	code := fs.Bool("code", false, "analyze Go source trees instead of .rules files")
 	lockdoc := fs.Bool("lockdoc", false, "check docs/lock-order.md against the //sqlcm:lock annotations")
 	write := fs.Bool("write", false, "with -lockdoc: regenerate docs/lock-order.md instead of checking it")
+	analyzers := fs.Bool("analyzers", false, "list the registered -code analyzers and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(errw, "usage: sqlcm-vet [-mode strict|warn] file.rules [dir ...]\n")
 		fmt.Fprintf(errw, "       sqlcm-vet -code [dir ...]\n")
 		fmt.Fprintf(errw, "       sqlcm-vet -lockdoc [-write] [dir]\n")
+		fmt.Fprintf(errw, "       sqlcm-vet -analyzers\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *analyzers {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+		fmt.Fprintf(out, "%-12s %s\n", "lockcheck", "declared //sqlcm:lock order, unlock balance, sends and enqueues under latches (internal/lockcheck/check)")
+		return 0
 	}
 	if *mode != "strict" && *mode != "warn" {
 		fmt.Fprintf(errw, "sqlcm-vet: unknown -mode %q (want strict or warn)\n", *mode)
@@ -96,20 +112,23 @@ func run(args []string, out, errw io.Writer) int {
 // runCode analyzes Go source trees. Every finding from the source
 // analyzers is a hard error: the annotations are opt-in, so a finding
 // means annotated code regressed. The lock-hierarchy checker runs over
-// the same roots: the declared //sqlcm:lock order is part of the code.
+// the same roots, fed the type-aware layer's cross-package lock
+// summaries: the declared //sqlcm:lock order is part of the code, and
+// a call into another package that can reach a classified lock is an
+// ordering edge like any local acquire.
 func runCode(roots []string, out, errw io.Writer) (errs int) {
 	for _, root := range roots {
-		diags, err := analysis.RunTree(root)
+		prog, err := analysis.LoadTree(root)
 		if err != nil {
 			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
 			errs++
 			continue
 		}
-		for _, d := range diags {
+		for _, d := range analysis.RunProgram(prog) {
 			fmt.Fprintln(out, d)
 			errs++
 		}
-		lockDiags, err := check.RunTree(root)
+		lockDiags, err := check.RunTreeWithSummaries(root, prog.LockSummaries())
 		if err != nil {
 			fmt.Fprintf(errw, "sqlcm-vet: %v\n", err)
 			errs++
@@ -121,6 +140,14 @@ func runCode(roots []string, out, errw io.Writer) (errs int) {
 		}
 	}
 	return errs
+}
+
+// firstLine truncates an analyzer doc to its first sentence line.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // runLockDoc regenerates (or staleness-checks) docs/lock-order.md under

@@ -44,6 +44,21 @@ func TestVetCodeClean(t *testing.T) {
 	}
 }
 
+// -analyzers lists every registered -code analyzer plus the lock
+// checker, one per line, and exits 0.
+func TestVetAnalyzersList(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-analyzers"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, errw.String())
+	}
+	for _, name := range []string{"hotpath", "recovered", "ctxprop", "cancelpoint", "goownership", "errcode", "lockcheck"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("analyzer list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
 // Warnings alone pass in warn mode and fail in strict mode.
 func TestVetModeStrictFailsOnWarnings(t *testing.T) {
 	dir := t.TempDir()

@@ -1,22 +1,42 @@
 // Package analysis implements SQLCM's custom Go source analyzers and a
 // small self-contained driver for them, in the spirit of
-// golang.org/x/tools/go/analysis but using only the standard library's
-// go/ast and go/parser (the build environment is offline).
+// golang.org/x/tools/go/analysis but using only the standard library
+// (the build environment is offline): go/parser for syntax, go/types
+// with the GOROOT source importer for type information, and per-package
+// exported facts for cross-package reasoning.
 //
 // The analyzers are annotation driven. Source carries machine-readable
 // directives in comments:
 //
-//	//sqlcm:hotpath    — this function runs on the monitoring hot path:
-//	                     calls that read the clock or allocate through
-//	                     fmt are flagged.
-//	//sqlcm:callback   — this function runs user rule code (conditions
-//	                     and actions): it may only be invoked from a
-//	                     function marked //sqlcm:recovered (or another
-//	                     callback already under that discipline).
-//	//sqlcm:recovered  — this function is a sanctioned recover site; the
-//	                     analyzer verifies it really defers a recover().
-//	//sqlcm:allow ...  — on (or immediately above) an offending line:
-//	                     suppress the finding, with a reason.
+//	//sqlcm:hotpath      — this function runs on the monitoring hot
+//	                       path: calls that read the clock or allocate
+//	                       through fmt are flagged, as are acquisitions
+//	                       of locks outside the declared hierarchy.
+//	//sqlcm:callback     — this function runs user rule code (conditions
+//	                       and actions): it may only be invoked from a
+//	                       function marked //sqlcm:recovered (or another
+//	                       callback already under that discipline).
+//	//sqlcm:recovered    — this function is a sanctioned recover site;
+//	                       the analyzer verifies it really defers a
+//	                       recover().
+//	//sqlcm:cancellable  — every loop in this function must reach a
+//	                       cancellation check: ctx.Err()/ctx.Done(), a
+//	                       stop-channel receive, or a callee summarized
+//	                       as cancel-capable.
+//	//sqlcm:cancelpoint  — calling this function (or interface method)
+//	                       reaches a cancellation check; the summary
+//	                       seed for cancelpoint analysis.
+//	//sqlcm:ctx-root <reason>
+//	                     — this function may mint a fresh context
+//	                       (context.Background()/TODO()) even inside a
+//	                       ctx-strict package.
+//	//sqlcm:owned-by <owner>
+//	                     — the goroutine started on (or right below)
+//	                       this line is owned by the named mechanism.
+//	//sqlcm:ctx-strict   — package-doc directive: apply the serving-path
+//	                       context strictness to this package.
+//	//sqlcm:allow ...    — on (or immediately above) an offending line:
+//	                       suppress the finding, with a reason.
 //
 // The directives live with the code they constrain, so the checks keep
 // holding as the hot path evolves without a central configuration file.
@@ -24,13 +44,9 @@ package analysis
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
+	"go/types"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one finding from a source analyzer.
@@ -44,10 +60,12 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Pass gives an analyzer one parsed package worth of files.
+// Pass gives an analyzer one type-checked package, plus the surrounding
+// program for cross-package fact lookups.
 type Pass struct {
-	Fset  *token.FileSet
-	Files []*ast.File
+	Fset *token.FileSet
+	Pkg  *Package
+	Prog *Program
 
 	name   string
 	report func(Diagnostic)
@@ -62,6 +80,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// FactsFor resolves the facts of the package defining obj (nil outside
+// the loaded module).
+func (p *Pass) FactsFor(obj types.Object) *Facts { return p.Prog.FactsFor(obj) }
+
 // Analyzer is one source check.
 type Analyzer struct {
 	Name string
@@ -70,83 +92,45 @@ type Analyzer struct {
 }
 
 // All returns every registered analyzer.
-func All() []*Analyzer { return []*Analyzer{HotPath, Recovered} }
-
-// RunFiles parses the given Go files as one package and runs every
-// analyzer over them. Findings come back sorted by position.
-func RunFiles(paths []string) ([]Diagnostic, error) {
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, p := range paths {
-		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	return runParsed(fset, files), nil
+func All() []*Analyzer {
+	return []*Analyzer{HotPath, Recovered, CtxProp, CancelPoint, GoOwnership, ErrCode}
 }
 
-// RunDir analyzes the non-test Go files directly inside dir (one package
-// directory, not recursive).
-func RunDir(dir string) ([]Diagnostic, error) {
-	ents, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var paths []string
-	for _, ent := range ents {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		paths = append(paths, filepath.Join(dir, name))
-	}
-	if len(paths) == 0 {
-		return nil, nil
-	}
-	return RunFiles(paths)
-}
-
-// RunTree walks root recursively and analyzes every package directory
-// under it, skipping testdata, vendor and hidden directories.
+// RunTree loads, type-checks and analyzes every package under root.
+// Findings come back sorted by position.
 func RunTree(root string) ([]Diagnostic, error) {
-	var all []Diagnostic
-	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".")) {
-			return filepath.SkipDir
-		}
-		diags, err := RunDir(path)
-		if err != nil {
-			return err
-		}
-		all = append(all, diags...)
-		return nil
-	})
+	prog, err := LoadTree(root)
 	if err != nil {
 		return nil, err
 	}
-	sortDiags(all)
-	return all, nil
+	return RunProgram(prog), nil
 }
 
-func runParsed(fset *token.FileSet, files []*ast.File) []Diagnostic {
+// RunProgram runs every analyzer over every package of an already-loaded
+// program. Soft type-check errors surface as findings of a synthetic
+// "typecheck" analyzer: an unresolvable tree must not silently pass with
+// analyzers degraded.
+func RunProgram(prog *Program) []Diagnostic {
 	var diags []Diagnostic
-	for _, a := range All() {
-		pass := &Pass{
-			Fset:   fset,
-			Files:  files,
-			name:   a.Name,
-			report: func(d Diagnostic) { diags = append(diags, d) },
+	report := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range prog.Packages {
+		for _, err := range pkg.TypeErrors {
+			d := Diagnostic{Analyzer: "typecheck", Message: err.Error()}
+			if terr, ok := err.(types.Error); ok {
+				d.Pos = terr.Fset.Position(terr.Pos)
+				d.Message = terr.Msg
+			}
+			report(d)
 		}
-		a.Run(pass)
+		for _, a := range All() {
+			a.Run(&Pass{
+				Fset:   prog.Fset,
+				Pkg:    pkg,
+				Prog:   prog,
+				name:   a.Name,
+				report: report,
+			})
+		}
 	}
 	sortDiags(diags)
 	return diags
@@ -163,38 +147,4 @@ func sortDiags(diags []Diagnostic) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-}
-
-// hasDirective reports whether the function's doc comment carries the
-// //sqlcm:<name> directive.
-func hasDirective(fn *ast.FuncDecl, name string) bool {
-	if fn.Doc == nil {
-		return false
-	}
-	want := "//sqlcm:" + name
-	for _, c := range fn.Doc.List {
-		text := strings.TrimSpace(c.Text)
-		if text == want || strings.HasPrefix(text, want+" ") {
-			return true
-		}
-	}
-	return false
-}
-
-// allowedLines returns the set of source lines covered by a
-// "//sqlcm:allow" comment: the comment's own line and the line below it
-// (so the directive can sit above a long statement).
-func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if !strings.Contains(c.Text, "sqlcm:allow") {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			lines[line] = true
-			lines[line+1] = true
-		}
-	}
-	return lines
 }

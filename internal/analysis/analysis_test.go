@@ -1,21 +1,38 @@
 package analysis
 
 import (
-	"go/ast"
-	"go/parser"
-	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+// analyzeSrc type-checks one source file as its own package in a temp
+// tree and returns every analyzer finding.
 func analyzeSrc(t *testing.T, src string) []Diagnostic {
 	t.Helper()
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
-	if err != nil {
-		t.Fatalf("parse fixture: %v", err)
+	return analyzeTree(t, map[string]string{"fixture.go": src})
+}
+
+// analyzeTree lays out the given files (paths relative to the tree root)
+// and runs the full driver over them.
+func analyzeTree(t *testing.T, files map[string]string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatalf("write fixture: %v", err)
+		}
 	}
-	return runParsed(fset, []*ast.File{f})
+	diags, err := RunTree(dir)
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	return diags
 }
 
 func wantFindings(t *testing.T, diags []Diagnostic, substrs ...string) {
@@ -77,6 +94,8 @@ func dispatch() {
 	wantFindings(t, diags)
 }
 
+// With go/types behind the qualifier check, a local variable shadowing a
+// package name can no longer produce a false positive.
 func TestHotPathLocalVariableNotConfusedWithPackage(t *testing.T) {
 	diags := analyzeSrc(t, `package x
 
@@ -154,16 +173,199 @@ func safeEval() {
 	wantFindings(t, diags)
 }
 
-// The real hot path must be clean: this locks the repo's own annotations
-// in place.
-func TestRepoHotPathIsClean(t *testing.T) {
-	for _, dir := range []string{"../event", "../rules"} {
-		diags, err := RunDir(dir)
-		if err != nil {
-			t.Fatalf("%s: %v", dir, err)
+// The callback fact crosses package boundaries: invoking another
+// package's //sqlcm:callback function without the recover discipline is
+// still a finding.
+func TestCallbackFactCrossesPackages(t *testing.T) {
+	diags := analyzeTree(t, map[string]string{
+		"cb/cb.go": `package cb
+
+//sqlcm:callback
+func EvalRule() {}
+`,
+		"driver/driver.go": `package driver
+
+import "cb"
+
+func dispatch() { cb.EvalRule() }
+`,
+	})
+	wantFindings(t, diags, "rule callback EvalRule invoked from dispatch")
+}
+
+func TestCtxPropStrictPackageDirective(t *testing.T) {
+	diags := analyzeSrc(t, `// Package x is the fixture serving path.
+//
+//sqlcm:ctx-strict
+package x
+
+import "context"
+
+func mint() context.Context {
+	return context.Background()
+}
+
+//sqlcm:ctx-root the fixture's sanctioned fresh lifetime
+func root() context.Context {
+	return context.Background()
+}
+`)
+	wantFindings(t, diags, "context.Background in ctx-strict package x outside a //sqlcm:ctx-root function")
+}
+
+func TestCtxPropMintWithContextInHand(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import "context"
+
+func handle(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO()
+}
+`)
+	wantFindings(t, diags, "handle already receives a context: pass it instead of minting context.TODO")
+}
+
+func TestCtxPropContextlessSibling(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import "context"
+
+type store struct{}
+
+func (s *store) Flush() error                            { return nil }
+func (s *store) FlushContext(ctx context.Context) error { return ctx.Err() }
+
+func handle(ctx context.Context, s *store) error {
+	_ = ctx
+	return s.Flush()
+}
+`)
+	wantFindings(t, diags, "handle holds a context but calls the context-less variant: call FlushContext")
+}
+
+func TestCancelPointTransitiveThroughCallee(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+import "context"
+
+// poll checks the context itself, so callers inherit cancel capability.
+func poll(ctx context.Context) error { return ctx.Err() }
+
+//sqlcm:cancellable
+func drain(ctx context.Context, rows []int) error {
+	for range rows {
+		if err := poll(ctx); err != nil {
+			return err
 		}
-		for _, d := range diags {
-			t.Errorf("%s: unexpected finding: %s", dir, d)
+	}
+	return nil
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestCancelPointAnnotatedInterfaceMethod(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+type iter interface {
+	// Next polls the statement's cancellation flag each call.
+	//
+	//sqlcm:cancelpoint
+	Next() (int, bool)
+}
+
+//sqlcm:cancellable
+func drain(it iter) int {
+	total := 0
+	for {
+		v, ok := it.Next()
+		if !ok {
+			return total
 		}
+		total += v
+	}
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestGoOwnershipSelfOwnedNamedCallee(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+type conn struct {
+	stop chan struct{}
+}
+
+// loop blocks on the stop channel: the goroutine owns its exit.
+func (c *conn) loop() {
+	<-c.stop
+}
+
+func (c *conn) start() {
+	go c.loop()
+}
+`)
+	wantFindings(t, diags)
+}
+
+func TestGoOwnershipOrphanFlagged(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+func work() {}
+
+func fire() {
+	go work()
+}
+`)
+	wantFindings(t, diags, "goroutine has no owner")
+}
+
+func TestErrCodeAllowDirective(t *testing.T) {
+	diags := analyzeSrc(t, `package x
+
+// legacyCode documents the one grandfathered literal.
+//
+//sqlcm:allow exercised by the fixture, not shipped
+const legacyCode = "40001"
+`)
+	wantFindings(t, diags)
+}
+
+// TestLockSummariesKeys pins the exported summary key shape: package
+// name (not import path), receiver type, method — the exact string the
+// parse-only lock checker derives at a cross-package call site.
+func TestLockSummariesKeys(t *testing.T) {
+	dir := t.TempDir()
+	src := `package x
+
+import "sync"
+
+type M struct {
+	//sqlcm:lock x.mu
+	mu sync.Mutex
+}
+
+func (m *M) Acquire() {
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+func free() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("write fixture: %v", err)
+	}
+	prog, err := LoadTree(dir)
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	sums := prog.LockSummaries()
+	got, ok := sums["x.M.Acquire"]
+	if !ok || len(got) != 1 || got[0] != "x.mu" {
+		t.Fatalf(`sums["x.M.Acquire"] = %v, %v; want ["x.mu"]`, got, ok)
+	}
+	if _, ok := sums["x.free"]; ok {
+		t.Fatalf("lock-free function exported a summary: %v", sums["x.free"])
 	}
 }

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestSeededFixtureGoldens pins the exact diagnostics for one seeded
+// defect per analyzer: a dropped context, a poll-free row loop, an
+// ownerless goroutine, and a raw SQLSTATE literal. Each fixture also
+// carries the fixed shape of the same pattern, so the goldens prove both
+// that the defect fires and that the repair silences it.
+func TestSeededFixtureGoldens(t *testing.T) {
+	cases := []string{
+		"ctxdrop",
+		"loopnopoll",
+		"orphangoroutine",
+		"rawsqlstate",
+	}
+	for _, name := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", name)
+			diags, err := RunTree(dir)
+			if err != nil {
+				t.Fatalf("RunTree: %v", err)
+			}
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(filepath.ToSlash(d.String()) + "\n")
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("update golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestAnnotatedTreeIsClean runs every analyzer over the repository and
+// requires zero findings: the shipped tree must satisfy its own declared
+// concurrency discipline. This is the same gate `make vet` enforces in
+// CI; keeping it in the test suite means a plain `go test ./...` catches
+// a regression before the vet step runs.
+func TestAnnotatedTreeIsClean(t *testing.T) {
+	diags, err := RunTree("../..")
+	if err != nil {
+		t.Fatalf("RunTree: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoOwnership requires every goroutine to have an owner — a mechanism
+// that observes its termination — closing the gap between the runtime
+// leak checker (internal/testutil, which only sees leaks a test
+// happens to trigger) and the source of leaks. A `go` statement is
+// owned when any of these holds:
+//
+//   - the started function ties itself to an owner: it signals a
+//     sync.WaitGroup (wg.Done), blocks on a stop channel
+//     (chan struct{}), or ranges over a channel an owner closes —
+//     detected in function literals directly and in named callees via
+//     the SelfOwned fact (so `go c.loop()` resolves across files);
+//   - the immediately preceding statement is a wg.Add, pairing the
+//     goroutine with a WaitGroup the spawner waits on;
+//   - the line carries //sqlcm:owned-by <owner>, naming the mechanism
+//     for patterns the analyzer cannot see (a result channel the one
+//     caller always drains, etc.);
+//   - in test files: the file installs the testutil leak checker
+//     (testutil.CheckLeaks), which fails the test on any straggler.
+var GoOwnership = &Analyzer{
+	Name: "goownership",
+	Doc:  "every go statement must tie its goroutine to an owner (WaitGroup, stop channel, //sqlcm:owned-by, or leak checker)",
+	Run:  runGoOwnership,
+}
+
+func runGoOwnership(p *Pass) {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
+		owned := ownedByLines(p.Fset, file)
+		inspectStmtLists(file, func(stmts []ast.Stmt, i int) {
+			g, ok := stmts[i].(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if owned[p.Fset.Position(g.Pos()).Line] {
+				return
+			}
+			if goStmtOwned(p, info, stmts, i, g) {
+				return
+			}
+			p.Reportf(g.Pos(),
+				"goroutine has no owner: pair it with a WaitGroup or stop channel, or annotate //sqlcm:owned-by <owner>")
+		})
+	}
+	// Test files are parse-only; apply the syntactic subset of the rules.
+	for _, file := range p.Pkg.TestFiles {
+		if fileCallsLeakChecker(file) {
+			continue
+		}
+		owned := ownedByLines(p.Fset, file)
+		inspectStmtLists(file, func(stmts []ast.Stmt, i int) {
+			g, ok := stmts[i].(*ast.GoStmt)
+			if !ok {
+				return
+			}
+			if owned[p.Fset.Position(g.Pos()).Line] {
+				return
+			}
+			if prevStmtIsAdd(stmts, i) || syntacticSelfOwned(g.Call) {
+				return
+			}
+			p.Reportf(g.Pos(),
+				"goroutine in test has no owner: guard the test with testutil.CheckLeaks, pair the goroutine with a WaitGroup or stop channel, or annotate //sqlcm:owned-by <owner>")
+		})
+	}
+}
+
+// goStmtOwned applies the type-aware ownership rules to one go statement.
+func goStmtOwned(p *Pass, info *types.Info, stmts []ast.Stmt, i int, g *ast.GoStmt) bool {
+	// wg.Add immediately before the spawn.
+	if j := i - 1; j >= 0 {
+		if es, ok := stmts[j].(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok && isWaitGroupOp(info, call, "Add") {
+				return true
+			}
+		}
+	}
+	// go func() { ... }() — the literal's own body ties it to an owner.
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return funcLitSelfOwned(info, lit)
+	}
+	// go c.loop() — the named callee's SelfOwned fact.
+	if callee := calleeOf(info, g.Call); callee != nil {
+		if ff := p.FactsFor(callee); ff != nil && ff.SelfOwned[callee] {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLitSelfOwned reports whether a goroutine body ties itself to an
+// owner: signals a WaitGroup, blocks on a stop channel, or ranges over a
+// channel.
+func funcLitSelfOwned(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupOp(info, n, "Done") || isWaitGroupOp(info, n, "Wait") || isChanClose(info, n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isStopChan(info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Chan); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isChanClose matches close(ch): the goroutine signals a done channel
+// some owner waits on.
+func isChanClose(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return false
+	}
+	if obj := info.Uses[id]; obj != nil {
+		if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+			return false
+		}
+	}
+	_, isChan := info.TypeOf(call.Args[0]).Underlying().(*types.Chan)
+	return isChan
+}
+
+// syntacticSelfOwned is the parse-only fallback for test files: the
+// spawned function mentions a Done/Wait call, a channel operation
+// (receive, send, close — the test-side result-channel pattern, which
+// the test body drains), or a range loop.
+func syntacticSelfOwned(call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+				found = true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.RangeStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func prevStmtIsAdd(stmts []ast.Stmt, i int) bool {
+	if i == 0 {
+		return false
+	}
+	es, ok := stmts[i-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Add"
+}
+
+// fileCallsLeakChecker reports whether a test file installs the
+// goroutine leak checker.
+func fileCallsLeakChecker(file *ast.File) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == "testutil" && sel.Sel.Name == "CheckLeaks" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ownedByLines returns the lines covered by //sqlcm:owned-by comments
+// (the comment's line and the line below, like //sqlcm:allow).
+func ownedByLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "sqlcm:owned-by") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// inspectStmtLists calls fn for every statement position in every
+// statement list of the file (blocks, case bodies, comm clauses), giving
+// ownership checks access to the preceding statement.
+func inspectStmtLists(file *ast.File, fn func(stmts []ast.Stmt, i int)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		for i := range list {
+			fn(list, i)
+		}
+		return true
+	})
+}

@@ -2,8 +2,7 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
-	"strings"
+	"go/types"
 )
 
 // HotPath flags calls that do not belong on the monitoring hot path. A
@@ -23,7 +22,7 @@ var HotPath = &Analyzer{
 	Run:  runHotPath,
 }
 
-// bannedCalls maps package name -> function name -> short reason.
+// bannedCalls maps package import path -> function name -> short reason.
 var bannedCalls = map[string]map[string]string{
 	"time": {
 		"Now":   "reads the clock on every event",
@@ -51,8 +50,8 @@ var lockAcquireOps = map[string]bool{
 }
 
 func runHotPath(p *Pass) {
-	annotated := annotatedLockFields(p.Files)
-	for _, file := range p.Files {
+	info := p.Pkg.Info
+	for _, file := range p.Pkg.Files {
 		allowed := allowedLines(p.Fset, file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
@@ -64,7 +63,7 @@ func runHotPath(p *Pass) {
 				if !ok {
 					return true
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 				if !ok {
 					return true
 				}
@@ -72,28 +71,48 @@ func runHotPath(p *Pass) {
 					return true
 				}
 				if lockAcquireOps[sel.Sel.Name] {
-					if name, ok := lockFieldName(sel.X); ok && !annotated[name] {
+					if _, classed := lockClassOf(p.Prog, info, sel.X); !classed {
+						name, _ := lockFieldName(sel.X)
 						p.Reportf(call.Pos(),
 							"acquiring un-annotated lock %s in hot-path function %s: unclassed locks are invisible to lockdep (annotate the field with //sqlcm:lock)",
 							name, fn.Name.Name)
 					}
 					return true
 				}
-				pkg, ok := sel.X.(*ast.Ident)
-				if !ok || pkg.Obj != nil { // Obj != nil: local variable, not a package
+				pkgName, ok := packageQualifier(info, sel.X)
+				if !ok {
 					return true
 				}
-				reason, banned := bannedCalls[pkg.Name][sel.Sel.Name]
+				reason, banned := bannedCalls[pkgName][sel.Sel.Name]
 				if !banned {
 					return true
 				}
 				p.Reportf(call.Pos(),
 					"call to %s.%s in hot-path function %s: %s (suppress with //sqlcm:allow <reason>)",
-					pkg.Name, sel.Sel.Name, fn.Name.Name, reason)
+					sel.X.(*ast.Ident).Name, sel.Sel.Name, fn.Name.Name, reason)
 				return true
 			})
 		}
 	}
+}
+
+// packageQualifier resolves the X of a selector call to the import path
+// of the package it names, using type information when present and
+// falling back to the identifier's spelling for unresolved trees.
+func packageQualifier(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := unparen(x).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	switch obj := info.Uses[id].(type) {
+	case *types.PkgName:
+		return obj.Imported().Path(), true
+	case nil:
+		// No type info (partial tree): the identifier's name is the best
+		// available guess, matching the pre-type-aware behavior.
+		return id.Name, true
+	}
+	return "", false // a local variable, not a package
 }
 
 // lockFieldName extracts the field (or local variable) name a lock call
@@ -110,55 +129,4 @@ func lockFieldName(recv ast.Expr) (string, bool) {
 		return lockFieldName(x.X)
 	}
 	return "", false
-}
-
-// annotatedLockFields collects, by name, the mutex struct fields of this
-// package that carry a //sqlcm:lock annotation. The check is name based
-// (this driver has no type information), which is exactly the right
-// granularity for the hot path: a field name that is annotated anywhere
-// in the package names a classified lock.
-func annotatedLockFields(files []*ast.File) map[string]bool {
-	out := map[string]bool{}
-	for _, file := range files {
-		for _, decl := range file.Decls {
-			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.TYPE {
-				continue
-			}
-			for _, spec := range gd.Specs {
-				ts, ok := spec.(*ast.TypeSpec)
-				if !ok {
-					continue
-				}
-				st, ok := ts.Type.(*ast.StructType)
-				if !ok {
-					continue
-				}
-				for _, field := range st.Fields.List {
-					if !fieldHasLockAnnotation(field) {
-						continue
-					}
-					for _, name := range field.Names {
-						out[name.Name] = true
-					}
-				}
-			}
-		}
-	}
-	return out
-}
-
-func fieldHasLockAnnotation(field *ast.Field) bool {
-	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
-		if cg == nil {
-			continue
-		}
-		for _, c := range cg.List {
-			text := strings.TrimSpace(c.Text)
-			if text == "//sqlcm:lock" || strings.HasPrefix(text, "//sqlcm:lock ") {
-				return true
-			}
-		}
-	}
-	return false
 }

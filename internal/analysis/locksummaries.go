@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// LockSummaries flattens the per-function LockClasses facts into the
+// string-keyed form internal/lockcheck/check consumes for cross-package
+// call sites: "pkgname.Type.Method" (or "pkgname.Func" for package
+// functions) mapped to the sorted lock classes the callee may acquire,
+// directly or transitively. The key uses the package's declared name —
+// not its import path — because the parse-only lock checker resolves a
+// cross-package receiver to its source-level qualified type ("lock.Manager"),
+// never to an import path.
+//
+// Only functions that actually touch classified locks appear; an absent
+// key means "no classified acquisitions known", which the lock checker
+// treats as a no-op call, exactly as it did before summaries existed.
+func (p *Program) LockSummaries() map[string][]string {
+	out := map[string][]string{}
+	for _, pkg := range p.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		pkgName := pkg.Types.Name()
+		for obj, classes := range pkg.Facts.LockClasses {
+			if len(classes) == 0 {
+				continue
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				continue
+			}
+			key := pkgName + "." + fn.Name()
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+				name := recvTypeName(recv.Type())
+				if name == "" {
+					continue
+				}
+				key = pkgName + "." + name + "." + fn.Name()
+			}
+			out[key] = unionSorted(out[key], classes)
+		}
+	}
+	return out
+}
+
+// unionSorted merges two sorted class lists without duplicates.
+func unionSorted(a, b []string) []string {
+	set := map[string]bool{}
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		set[c] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// recvTypeName unwraps a receiver type to its named type's name.
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

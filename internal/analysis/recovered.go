@@ -10,6 +10,11 @@ import (
 // that raised the event, so every call to a callback function has to sit
 // inside a function marked //sqlcm:recovered — and a recovered function
 // must genuinely defer a recover(), or the marker is a lie.
+//
+// Callback-ness is a fact: calls are resolved through type information,
+// so invocations through another package's exported callback, or through
+// an interface method annotated at its declaration, no longer escape the
+// check the way the old name-matching driver allowed.
 var Recovered = &Analyzer{
 	Name: "recovered",
 	Doc:  "rule-callback invocations must be wrapped in a deferred recover()",
@@ -17,39 +22,27 @@ var Recovered = &Analyzer{
 }
 
 func runRecovered(p *Pass) {
-	// First pass over the package: collect the marked function names.
-	callbacks := map[string]bool{}
-	recovered := map[string]bool{}
-	for _, file := range p.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok {
-				continue
-			}
-			if hasDirective(fn, "callback") {
-				callbacks[fn.Name.Name] = true
-			}
-			if hasDirective(fn, "recovered") {
-				recovered[fn.Name.Name] = true
-			}
-		}
-	}
-
-	for _, file := range p.Files {
+	info := p.Pkg.Info
+	facts := p.Pkg.Facts
+	for _, file := range p.Pkg.Files {
 		allowed := allowedLines(p.Fset, file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			if recovered[fn.Name.Name] && hasDirective(fn, "recovered") && !defersRecover(fn.Body) {
+			obj := info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			if facts.Recovered[obj] && !defersRecover(fn.Body) {
 				p.Reportf(fn.Pos(),
 					"function %s is marked //sqlcm:recovered but never defers a recover()",
 					fn.Name.Name)
 			}
 			// Calls inside a recovered or callback function are under the
 			// discipline already.
-			if recovered[fn.Name.Name] || callbacks[fn.Name.Name] {
+			if facts.Recovered[obj] || facts.Callback[obj] {
 				continue
 			}
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
@@ -57,8 +50,9 @@ func runRecovered(p *Pass) {
 				if !ok {
 					return true
 				}
-				name, ok := calleeName(call)
-				if !ok || !callbacks[name] {
+				callee := calleeOf(info, call)
+				ff := p.FactsFor(callee)
+				if ff == nil || !ff.Callback[callee] {
 					return true
 				}
 				if allowed[p.Fset.Position(call.Pos()).Line] {
@@ -66,23 +60,11 @@ func runRecovered(p *Pass) {
 				}
 				p.Reportf(call.Pos(),
 					"rule callback %s invoked from %s, which is not marked //sqlcm:recovered: a panic in rule code would unwind into the caller",
-					name, fn.Name.Name)
+					callee.Name(), fn.Name.Name)
 				return true
 			})
 		}
 	}
-}
-
-// calleeName extracts the called function's unqualified name: f(...) or
-// recv.f(...).
-func calleeName(call *ast.CallExpr) (string, bool) {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		return fun.Name, true
-	case *ast.SelectorExpr:
-		return fun.Sel.Name, true
-	}
-	return "", false
 }
 
 // defersRecover reports whether the body contains a defer statement whose

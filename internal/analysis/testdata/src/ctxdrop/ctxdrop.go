@@ -1,0 +1,47 @@
+// Package ctxdrop seeds context-propagation defects for the ctxprop
+// analyzer: a fresh context minted where one is already in hand, a
+// Background() in a ctx-strict package outside any //sqlcm:ctx-root,
+// a reason-less ctx-root annotation, and a context-less call whose
+// Context-suffixed sibling exists.
+//
+//sqlcm:ctx-strict
+package ctxdrop
+
+import "context"
+
+type store struct{}
+
+// Flush is the legacy context-less entry point.
+func (s *store) Flush() error { return nil }
+
+// FlushContext is the sibling callers holding a context must prefer.
+func (s *store) FlushContext(ctx context.Context) error { return ctx.Err() }
+
+// handle receives a context yet mints a fresh one, then drops the one in
+// hand by calling the context-less sibling.
+func handle(ctx context.Context, s *store) error {
+	bg := context.Background()
+	_ = bg
+	_ = ctx
+	return s.Flush()
+}
+
+// mint has no context parameter: in a ctx-strict package Background()
+// needs a //sqlcm:ctx-root annotation naming why a lifetime starts here.
+func mint() context.Context {
+	return context.Background()
+}
+
+// badRoot is annotated but gives no reason.
+//
+//sqlcm:ctx-root
+func badRoot() context.Context {
+	return context.Background()
+}
+
+// goodRoot is the fixture's one sanctioned root.
+//
+//sqlcm:ctx-root fixture: the seeded tree's sanctioned fresh lifetime
+func goodRoot() context.Context {
+	return context.Background()
+}

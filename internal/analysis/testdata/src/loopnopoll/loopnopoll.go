@@ -1,0 +1,62 @@
+// Package loopnopoll seeds a //sqlcm:cancellable function whose row
+// loop never reaches a cancellation point: the statement deadline would
+// sail past an arbitrarily long iteration.
+package loopnopoll
+
+import "context"
+
+// drain iterates without ever polling: the cancelpoint analyzer must
+// flag the loop.
+//
+//sqlcm:cancellable
+func drain(ctx context.Context, rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += r
+	}
+	_ = ctx
+	return total
+}
+
+// drainPolling is the fixed shape: the deadline lands at the iteration
+// boundary.
+//
+//sqlcm:cancellable
+func drainPolling(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += r
+	}
+	return total, nil
+}
+
+// pump ranges over a channel: closing it cancels the loop, so no poll is
+// required.
+//
+//sqlcm:cancellable
+func pump(in chan int) int {
+	total := 0
+	for r := range in {
+		total += r
+	}
+	return total
+}
+
+// checkStop blocks on a stop channel each round: also cancellable.
+//
+//sqlcm:cancellable
+func checkStop(stop chan struct{}, rows []int) int {
+	total := 0
+	for _, r := range rows {
+		select {
+		case <-stop:
+			return total
+		default:
+		}
+		total += r
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+// Package orphangoroutine seeds a fire-and-forget goroutine with no
+// owner: nothing observes its termination, the exact shape the runtime
+// leak checker only catches when a test happens to trip over it.
+package orphangoroutine
+
+import "sync"
+
+// fire spawns without any ownership mechanism: the goownership analyzer
+// must flag the go statement.
+func fire() {
+	go work()
+}
+
+func work() {}
+
+// waited pairs the spawn with a WaitGroup: owned.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// stopped hands the goroutine a stop channel it blocks on: owned.
+func stopped(stop chan struct{}) {
+	go func() {
+		<-stop
+		work()
+	}()
+}
+
+// annotated names its owner for a pattern the analyzer cannot see.
+func annotated(results chan int) {
+	//sqlcm:owned-by result channel: buffered, the one caller always drains it
+	go func() {
+		results <- 1
+	}()
+}

@@ -1,0 +1,19 @@
+// Package rawsqlstate seeds SQLSTATE string literals outside the
+// internal/server/errcode table: the wire taxonomy carries retryability
+// and monitored-event mapping the raw five characters lose.
+package rawsqlstate
+
+// classify hardcodes the syntax-error code instead of consulting the
+// errcode table.
+func classify(code string) bool {
+	return code == "42601"
+}
+
+// undefinedStmt pins a second class (26) as a constant.
+const undefinedStmt = "26000"
+
+// notACode stays silent: recognizable length but no SQLSTATE class.
+const notACode = "ZZZZ1"
+
+// word stays silent: five uppercase letters, no digit.
+const word = "ABORT"

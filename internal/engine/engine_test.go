@@ -347,6 +347,7 @@ func TestActiveQueriesSnapshotDuringExecution(t *testing.T) {
 	mustExec(t, s1, "UPDATE accounts SET balance = 0 WHERE id = 1")
 
 	s2 := e.NewSession("reader", "rpt")
+	//sqlcm:owned-by the writer's rollback below releases the lock and ends the query
 	go s2.Exec("SELECT COUNT(*) FROM accounts", nil) //nolint:errcheck
 	time.Sleep(100 * time.Millisecond)
 	snaps := e.ActiveQueries()

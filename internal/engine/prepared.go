@@ -55,6 +55,8 @@ func (p *Prepared) SQL() string { return p.sql }
 func (p *Prepared) ParamNames() []string { return append([]string(nil), p.names...) }
 
 // Exec runs the prepared statement with the given parameter bindings.
+//
+//sqlcm:ctx-root embedder convenience API: callers without a deadline start a fresh statement lifetime here
 func (p *Prepared) Exec(params map[string]sqltypes.Value) (*Result, error) {
 	return p.ExecContext(context.Background(), params)
 }

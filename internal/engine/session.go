@@ -144,6 +144,8 @@ type Result struct {
 func (s *Session) InTxn() bool { return s.tx != nil }
 
 // Exec parses and executes one SQL statement.
+//
+//sqlcm:ctx-root embedder convenience API: callers without a deadline start a fresh statement lifetime here
 func (s *Session) Exec(sql string, params map[string]sqltypes.Value) (*Result, error) {
 	return s.ExecContext(context.Background(), sql, params)
 }
@@ -573,6 +575,8 @@ func (s *Session) execProcedure(ctx context.Context, call *sqlparser.Exec, calle
 
 // execProcBody runs procedure statements, returning the result of the last
 // row-returning statement.
+//
+//sqlcm:cancellable
 func (s *Session) execProcBody(ctx context.Context, body []sqlparser.Statement, locals map[string]sqltypes.Value) (*Result, error) {
 	var last *Result
 	for _, stmt := range body {

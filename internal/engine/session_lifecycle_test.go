@@ -3,6 +3,8 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -179,6 +181,36 @@ func TestExecContextPreCancelled(t *testing.T) {
 	}
 	// Session recovers for the next statement.
 	mustExec(t, s, "SELECT * FROM t")
+}
+
+// TestInsertDeadlineLandsAtRowBoundary: a deadline that has already
+// expired when a large multi-row INSERT reaches the executor cancels the
+// statement at the row-iteration boundary (the cancelpoint analyzer's
+// contract for ExecInsert) and leaves no partial rows behind.
+func TestInsertDeadlineLandsAtRowBoundary(t *testing.T) {
+	e := newTestEngine(t)
+	defer testutil.CheckLeaks(t)()
+	s := e.NewSession("alice", "app")
+	mustExec(t, s, "CREATE TABLE big (id INT PRIMARY KEY, v FLOAT)")
+	var b strings.Builder
+	b.WriteString("INSERT INTO big (id, v) VALUES ")
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%d, %d.5)", i, i)
+	}
+	ctx, cancel := context.WithTimeoutCause(context.Background(), time.Nanosecond, CauseStatementTimeout)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	var ce *CancelledError
+	if _, err := s.ExecContext(ctx, b.String(), nil); !errors.As(err, &ce) || ce.Reason != CancelTimeout {
+		t.Fatalf("insert under expired deadline: got %v, want CancelledError with reason timeout", err)
+	}
+	res := mustExec(t, s, "SELECT * FROM big")
+	if len(res.Rows) != 0 {
+		t.Fatalf("cancelled insert left %d rows", len(res.Rows))
+	}
 }
 
 // TestConcurrentExecRejected pins the single-goroutine contract: a second

@@ -16,6 +16,8 @@ import (
 // subsumed by transaction rollback, a behaviour documented in DESIGN.md).
 
 // ExecInsert runs an insert plan, returning the number of rows inserted.
+//
+//sqlcm:cancellable
 func ExecInsert(ctx *Ctx, sp StoreProvider, p *plan.PhysInsert, cat *catalog.Catalog) (int64, error) {
 	ts, err := sp.Store(p.Table.Name)
 	if err != nil {
@@ -23,7 +25,13 @@ func ExecInsert(ctx *Ctx, sp StoreProvider, p *plan.PhysInsert, cat *catalog.Cat
 	}
 	evalsPerRow := make([][]Evaluator, len(p.RowsSrc))
 	for i, row := range p.RowsSrc {
+		// A multi-row INSERT can carry arbitrarily many rows: the compile
+		// loop is a statement-deadline boundary just like the apply loop.
+		if err := ctx.checkCancel(); err != nil {
+			return 0, err
+		}
 		evalsPerRow[i] = make([]Evaluator, len(row))
+		//sqlcm:allow bounded by one row's width
 		for j, e := range row {
 			ev, err := Compile(e, nil)
 			if err != nil {
@@ -38,9 +46,11 @@ func ExecInsert(ctx *Ctx, sp StoreProvider, p *plan.PhysInsert, cat *catalog.Cat
 			return n, err
 		}
 		row := make(Row, len(p.Table.Columns))
+		//sqlcm:allow bounded by the table's column count
 		for i := range row {
 			row[i] = sqltypes.Null
 		}
+		//sqlcm:allow bounded by one row's width
 		for j, ev := range evals {
 			v, err := ev.Eval(nil, ctx.Params)
 			if err != nil {
@@ -126,6 +136,8 @@ type targetRow struct {
 // collectTargetsWithRIDs materializes the (rid, row) pairs matched by an
 // access path. DML collects all targets before mutating so the scan never
 // observes its own writes (Halloween protection).
+//
+//sqlcm:cancellable
 func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, schema []plan.ColMeta) ([]targetRow, error) {
 	var residual Evaluator
 	if access.Residual != nil {
@@ -180,6 +192,7 @@ func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, s
 		return nil, fmt.Errorf("exec: index %q has no storage", access.Index.Name)
 	}
 	var eqVals []sqltypes.Value
+	//sqlcm:allow bounded by the index's key width
 	for _, e := range access.Eq {
 		ev, err := Compile(e, nil)
 		if err != nil {
@@ -242,12 +255,15 @@ func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, s
 }
 
 // ExecUpdate runs an update plan, returning the number of rows changed.
+//
+//sqlcm:cancellable
 func ExecUpdate(ctx *Ctx, sp StoreProvider, p *plan.PhysUpdate, cat *catalog.Catalog) (int64, error) {
 	ts, err := sp.Store(p.Table.Name)
 	if err != nil {
 		return 0, err
 	}
 	schema := make([]plan.ColMeta, len(ts.Meta.Columns))
+	//sqlcm:allow bounded by the table's column count
 	for i, c := range ts.Meta.Columns {
 		schema[i] = plan.ColMeta{Qual: ts.Meta.Name, Name: c.Name}
 	}
@@ -256,6 +272,7 @@ func ExecUpdate(ctx *Ctx, sp StoreProvider, p *plan.PhysUpdate, cat *catalog.Cat
 		return 0, err
 	}
 	setEvals := make([]Evaluator, len(p.Sets))
+	//sqlcm:allow bounded by the statement's SET list
 	for i, s := range p.Sets {
 		ev, err := Compile(s.Expr, schema)
 		if err != nil {
@@ -269,6 +286,7 @@ func ExecUpdate(ctx *Ctx, sp StoreProvider, p *plan.PhysUpdate, cat *catalog.Cat
 			return n, err
 		}
 		newRow := tgt.row.Clone()
+		//sqlcm:allow bounded by the statement's SET list
 		for i, s := range p.Sets {
 			v, err := setEvals[i].Eval(tgt.row, ctx.Params)
 			if err != nil {
@@ -332,12 +350,15 @@ func updateRow(ctx *Ctx, ts *TableStore, rid storage.RID, oldRow, newRow Row, ca
 }
 
 // ExecDelete runs a delete plan, returning the number of rows removed.
+//
+//sqlcm:cancellable
 func ExecDelete(ctx *Ctx, sp StoreProvider, p *plan.PhysDelete, cat *catalog.Catalog) (int64, error) {
 	ts, err := sp.Store(p.Table.Name)
 	if err != nil {
 		return 0, err
 	}
 	schema := make([]plan.ColMeta, len(ts.Meta.Columns))
+	//sqlcm:allow bounded by the table's column count
 	for i, c := range ts.Meta.Columns {
 		schema[i] = plan.ColMeta{Qual: ts.Meta.Name, Name: c.Name}
 	}

@@ -22,6 +22,8 @@ type Ctx struct {
 }
 
 // checkCancel polls the transaction's cancellation flag.
+//
+//sqlcm:cancelpoint
 func (c *Ctx) checkCancel() error {
 	if c.Txn == nil {
 		return nil
@@ -33,7 +35,11 @@ func (c *Ctx) checkCancel() error {
 type Operator interface {
 	// Open prepares the operator for iteration.
 	Open(ctx *Ctx) error
-	// Next returns the next row, or nil at end of input.
+	// Next returns the next row, or nil at end of input. Every
+	// implementation polls the transaction's cancellation flag at its
+	// iteration boundary, so a loop draining an operator is cancellable
+	// by construction.
+	//sqlcm:cancelpoint
 	Next(ctx *Ctx) (Row, error)
 	// Close releases resources. Close is idempotent.
 	Close() error
@@ -105,6 +111,8 @@ func Build(p plan.Physical, sp StoreProvider) (Operator, error) {
 }
 
 // Run drains an operator, returning all rows.
+//
+//sqlcm:cancellable
 func Run(op Operator, ctx *Ctx) ([]Row, error) {
 	if err := op.Open(ctx); err != nil {
 		return nil, err
@@ -259,6 +267,7 @@ func prefixSuccessor(prefix []byte) []byte {
 	return nil // prefix is all 0xff: no upper bound
 }
 
+//sqlcm:cancellable
 func (s *scanOp) Next(ctx *Ctx) (Row, error) {
 	ncols := len(s.store.Meta.Columns)
 	if s.useIndex {
@@ -294,6 +303,7 @@ func (s *scanOp) Next(ctx *Ctx) (Row, error) {
 		return nil, nil
 	}
 	for {
+		//sqlcm:allow bounded by one page of buffered rows; the outer page loop polls
 		for s.bufIdx < len(s.buf) {
 			row := s.buf[s.bufIdx]
 			s.bufIdx++

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sqlcm/internal/server"
+	"sqlcm/internal/server/errcode"
 	"sqlcm/internal/sim"
 	"sqlcm/internal/sqltypes"
 	"sqlcm/internal/workload"
@@ -135,11 +136,11 @@ func Classify(err error) ErrClass {
 	var we *server.WireError
 	if errors.As(err, &we) {
 		switch we.Code {
-		case server.CodeQueryCancelled:
+		case errcode.QueryCancelled.SQLSTATE:
 			return ClassTimeout
-		case server.CodeTooManyConns, server.CodeAdminShutdown:
+		case errcode.TooManyConns.SQLSTATE, errcode.AdminShutdown.SQLSTATE:
 			return ClassReject
-		case server.CodeOverloaded:
+		case errcode.Overloaded.SQLSTATE:
 			return ClassShed
 		default:
 			return ClassOther

@@ -150,6 +150,8 @@ func (m *Manager) SetNotifier(n Notifier) {
 // are held. It returns ErrDeadlock if waiting would close a cycle,
 // ErrCancelled if Cancel(txn) is called while waiting, and ErrTimeout when
 // the configured timeout elapses.
+//
+//sqlcm:cancellable
 func (m *Manager) Acquire(txn TxnID, res Resource, mode Mode) error {
 	m.mu.Lock()
 	q := m.queues[res]

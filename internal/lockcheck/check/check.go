@@ -68,7 +68,7 @@ func RunFiles(paths []string) ([]Diagnostic, error) {
 	report := func(d Diagnostic) { diags = append(diags, d) }
 	collectAnnotations(fset, files, h, report)
 	h.Validate(report)
-	checkPackage(fset, files, h, report)
+	checkPackage(fset, files, h, nil, report)
 	sortDiags(diags)
 	return diags, nil
 }
@@ -78,6 +78,19 @@ func RunFiles(paths []string) ([]Diagnostic, error) {
 // against it. testdata, vendor and hidden directories are skipped, as are
 // _test.go files and files build-tagged sqlcmlockdep (the runtime shim).
 func RunTree(root string) ([]Diagnostic, error) {
+	return RunTreeWithSummaries(root, nil)
+}
+
+// RunTreeWithSummaries is RunTree with cross-package call summaries: ext
+// maps "pkgname.Type.Method" (or "pkgname.Func") to the lock classes the
+// callee may acquire, as exported by the type-aware analysis layer
+// (analysis.Program.LockSummaries). At a call site whose receiver resolves
+// to a qualified type from another package, the callee's classes are
+// order-checked against the caller's held set — the edge the purely
+// package-local walk cannot see. The held set is not mutated: whether the
+// callee still holds anything at return is its own package's walk to
+// report.
+func RunTreeWithSummaries(root string, ext map[string][]string) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	pkgs, err := parseTree(fset, root)
 	if err != nil {
@@ -91,7 +104,7 @@ func RunTree(root string) ([]Diagnostic, error) {
 	}
 	h.Validate(report)
 	for _, files := range pkgs {
-		checkPackage(fset, files, h, report)
+		checkPackage(fset, files, h, ext, report)
 	}
 	sortDiags(diags)
 	return diags, nil

@@ -52,19 +52,22 @@ type pkgChecker struct {
 	hier      *Hierarchy
 	info      *pkgInfo
 	summaries map[string]*summary
-	report    func(Diagnostic) // nil during the summary pass
+	ext       map[string][]string // cross-package acquire summaries, qualified keys
+	report    func(Diagnostic)    // nil during the summary pass
 }
 
 // checkPackage runs the two-pass walk: pass one computes per-function
 // summaries with reporting disabled, pass two re-walks every function
-// with summaries applied at same-package call sites.
-func checkPackage(fset *token.FileSet, files []*ast.File, h *Hierarchy, report func(Diagnostic)) {
+// with summaries applied at same-package call sites and ext summaries
+// order-checked at cross-package call sites.
+func checkPackage(fset *token.FileSet, files []*ast.File, h *Hierarchy, ext map[string][]string, report func(Diagnostic)) {
 	pc := &pkgChecker{
 		fset:      fset,
 		pkg:       files[0].Name.Name,
 		hier:      h,
 		info:      buildPkgInfo(files),
 		summaries: map[string]*summary{},
+		ext:       ext,
 	}
 	for _, file := range files {
 		allow := allowedLines(fset, file)
@@ -502,9 +505,55 @@ func (w *walker) handleCall(call *ast.CallExpr) {
 		w.reportf(call.Pos(), "locksend",
 			"outbox enqueue while holding %s; enqueue after unlocking", quotedList(w.heldList()))
 	}
-	if t := baseName(w.c.info.inferExpr(sel.X, w.env)); t != "" {
+	q := w.c.info.inferExpr(sel.X, w.env)
+	if t := baseName(q); t != "" {
 		if s := w.c.summaries[t+"."+op]; s != nil {
 			w.applySummary(t+"."+op, s, call.Pos())
+			return
+		}
+	}
+	if w.c.ext == nil {
+		return
+	}
+	// Cross-package edge: a qualified receiver type ("lock.Manager") or a
+	// package-qualified function call ("outbox.New") keys directly into
+	// the analysis layer's exported summaries.
+	var key string
+	if strings.Contains(q, ".") {
+		key = q + "." + op
+	} else if q == "" {
+		if id, ok := sel.X.(*ast.Ident); ok && w.env[id.Name] == "" {
+			key = id.Name + "." + op
+		}
+	}
+	if key != "" {
+		if classes := w.c.ext[key]; len(classes) > 0 {
+			w.applyExternal(key, classes, call.Pos())
+		}
+	}
+}
+
+// applyExternal order-checks a cross-package call against the lock
+// classes the analysis layer's summary says the callee may acquire,
+// without mutating the held set: the callee's own package walk already
+// checks its internal lock/unlock balance, so the caller only owes the
+// ordering proof — every held class must have a declared path to every
+// class the callee can reach for.
+func (w *walker) applyExternal(name string, classes []string, pos token.Pos) {
+	for _, class := range classes {
+		if info, ok := w.held[class]; ok {
+			if !info.maybe {
+				w.reportf(pos, "lockorder",
+					"call to %s may acquire %q which is already held", name, class)
+			}
+			continue
+		}
+		for _, h := range w.heldList() {
+			if !w.c.hier.Reachable(h, class) {
+				w.reportf(pos, "lockorder",
+					"call to %s may acquire %q while holding %q: no declared order path %s -> %s (see docs/lock-order.md)",
+					name, class, h, h, class)
+			}
 		}
 	}
 }

@@ -83,15 +83,56 @@ func TestSeededFixtureGoldens(t *testing.T) {
 // TestHotpathLockGolden pins the internal/analysis diagnostic for a
 // hot-path function locking an un-annotated mutex.
 func TestHotpathLockGolden(t *testing.T) {
-	diags, err := analysis.RunFiles(fixtureFiles(t, "hotpathlock"))
+	diags, err := analysis.RunTree(filepath.Join("testdata", "src", "hotpathlock"))
 	if err != nil {
-		t.Fatalf("analysis.RunFiles: %v", err)
+		t.Fatalf("analysis.RunTree: %v", err)
 	}
 	var b strings.Builder
 	for _, d := range diags {
 		b.WriteString(filepath.ToSlash(d.String()) + "\n")
 	}
 	checkGolden(t, "hotpathlock", b.String())
+}
+
+// TestCrossPackageSummaryGolden pins the summary-driven ordering check:
+// calls into another package are order-checked against the classes the
+// analysis layer says the callee may acquire.
+func TestCrossPackageSummaryGolden(t *testing.T) {
+	ext := map[string][]string{
+		"lck.Mgr.Acquire": {"lock.manager"},
+		"lck.Acquire":     {"lock.manager"},
+	}
+	diags, err := check.RunTreeWithSummaries(filepath.Join("testdata", "src", "crosssummary"), ext)
+	if err != nil {
+		t.Fatalf("RunTreeWithSummaries: %v", err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(filepath.ToSlash(d.String()) + "\n")
+	}
+	checkGolden(t, "crosssummary", b.String())
+}
+
+// TestTreeLockSummariesExported requires the type-aware layer to export
+// the one cross-package edge the serving path actually has: acquiring a
+// row/table lock through lock.Manager reaches the lock.manager latch.
+func TestTreeLockSummariesExported(t *testing.T) {
+	prog, err := analysis.LoadTree("../..")
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	sums := prog.LockSummaries()
+	classes := sums["lock.Manager.Acquire"]
+	found := false
+	for _, c := range classes {
+		if c == "lock.manager" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lock.Manager.Acquire summary = %v, want it to include %q (have %d summaries)",
+			classes, "lock.manager", len(sums))
+	}
 }
 
 // TestAnnotatedTreeIsClean runs the full lock checker over the repository

@@ -344,6 +344,7 @@ func (o *Outbox) addDeadLetter(d DeadLetter) {
 	o.dlMu.Unlock()
 }
 
+//sqlcm:cancellable
 func (o *Outbox) worker(ks *kindState) {
 	defer o.wg.Done()
 	for job := range ks.queue {
@@ -353,6 +354,8 @@ func (o *Outbox) worker(ks *kindState) {
 }
 
 // runJob executes one job through the retry loop.
+//
+//sqlcm:cancellable
 func (o *Outbox) runJob(ks *kindState, job Job) {
 	var lastErr error
 	for attempt := 1; attempt <= o.cfg.MaxAttempts; attempt++ {
@@ -393,6 +396,7 @@ func (o *Outbox) runJob(ks *kindState, job Job) {
 // own goroutine so a hung action cannot pin the worker past the deadline.
 func (o *Outbox) attempt(ks *kindState, job Job) error {
 	result := make(chan error, 1)
+	//sqlcm:owned-by result channel: buffered, so the goroutine ends when the action returns even after the deadline abandons it
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {

@@ -10,6 +10,7 @@ import (
 	"sqlcm"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/server"
+	"sqlcm/internal/server/errcode"
 	"sqlcm/internal/testutil"
 )
 
@@ -71,8 +72,8 @@ func TestStatementTimeout(t *testing.T) {
 	_, err := cli.Query("UPDATE t SET v = 3.0 WHERE id = 1")
 	waited := time.Since(start)
 	var we *server.WireError
-	if !errors.As(err, &we) || we.Code != server.CodeQueryCancelled {
-		t.Fatalf("blocked statement: got %v, want WireError %s", err, server.CodeQueryCancelled)
+	if !errors.As(err, &we) || we.Code != errcode.QueryCancelled.SQLSTATE {
+		t.Fatalf("blocked statement: got %v, want WireError %s", err, errcode.QueryCancelled.SQLSTATE)
 	}
 	if waited < 100*time.Millisecond {
 		t.Fatalf("statement failed after %v; it never reached the lock wait", waited)
@@ -114,11 +115,11 @@ func TestStatementShed(t *testing.T) {
 
 	overloaded.Store(true)
 	var we *server.WireError
-	if _, err := cli.Query("SELECT id FROM t"); !errors.As(err, &we) || we.Code != server.CodeOverloaded {
-		t.Fatalf("simple query under overload: got %v, want WireError %s", err, server.CodeOverloaded)
+	if _, err := cli.Query("SELECT id FROM t"); !errors.As(err, &we) || we.Code != errcode.Overloaded.SQLSTATE {
+		t.Fatalf("simple query under overload: got %v, want WireError %s", err, errcode.Overloaded.SQLSTATE)
 	}
-	if _, err := cli.ExecPrepared("sel"); !errors.As(err, &we) || we.Code != server.CodeOverloaded {
-		t.Fatalf("extended query under overload: got %v, want WireError %s", err, server.CodeOverloaded)
+	if _, err := cli.ExecPrepared("sel"); !errors.As(err, &we) || we.Code != errcode.Overloaded.SQLSTATE {
+		t.Fatalf("extended query under overload: got %v, want WireError %s", err, errcode.Overloaded.SQLSTATE)
 	}
 
 	overloaded.Store(false)
@@ -254,8 +255,8 @@ func TestDrainCancelsInFlight(t *testing.T) {
 		t.Fatalf("shutdown force-closed connections: %v", err)
 	}
 	var we *server.WireError
-	if err := <-queryErr; !errors.As(err, &we) || we.Code != server.CodeQueryCancelled {
-		t.Fatalf("drained statement: got %v, want WireError %s", err, server.CodeQueryCancelled)
+	if err := <-queryErr; !errors.As(err, &we) || we.Code != errcode.QueryCancelled.SQLSTATE {
+		t.Fatalf("drained statement: got %v, want WireError %s", err, errcode.QueryCancelled.SQLSTATE)
 	}
 	if _, err := holder.Exec("ROLLBACK", nil); err != nil {
 		t.Fatal(err)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sqlcm/internal/engine"
+	"sqlcm/internal/server/errcode"
 	"sqlcm/internal/sqltypes"
 )
 
@@ -108,8 +109,8 @@ func (c *conn) serve() {
 			return
 		}
 		if c.draining.Load() {
-			c.pw.writeError(codeAdminShutdown, "server is shutting down") //nolint:errcheck
-			c.flush()                                                     //nolint:errcheck
+			c.pw.writeError(errcode.AdminShutdown, "server is shutting down") //nolint:errcheck
+			c.flush()                                                         //nolint:errcheck
 			return
 		}
 		typ, body, err := c.pr.readMessage()
@@ -147,7 +148,7 @@ func (c *conn) dispatch(typ byte, body []byte) bool {
 		return c.ready()
 	default:
 		c.srv.errors.Add(1)
-		c.pw.writeError(codeProtocolViolation, fmt.Sprintf("unexpected message %q", typ)) //nolint:errcheck
+		c.pw.writeError(errcode.ProtocolViolation, fmt.Sprintf("unexpected message %q", typ)) //nolint:errcheck
 		return c.flush() == nil
 	}
 }
@@ -189,7 +190,7 @@ func (c *conn) handshake() (user, app string, ok bool) {
 		return "", "", false // out-of-band cancel: not supported, drop
 	}
 	if ver != protoVersion {
-		c.fail(codeProtocolViolation, fmt.Sprintf("unsupported protocol version %d", ver))
+		c.fail(errcode.ProtocolViolation, fmt.Sprintf("unsupported protocol version %d", ver))
 		return "", "", false
 	}
 	params := map[string]string{}
@@ -222,7 +223,7 @@ func (c *conn) handshake() (user, app string, ok bool) {
 		pp := payload{b: body}
 		pass, _ := pp.cstring()
 		if pass != c.srv.cfg.Password {
-			c.fail(codeInvalidPassword, fmt.Sprintf("password authentication failed for user %q", user))
+			c.fail(errcode.InvalidPassword, fmt.Sprintf("password authentication failed for user %q", user))
 			return "", "", false
 		}
 	}
@@ -245,7 +246,7 @@ func (c *conn) handshake() (user, app string, ok bool) {
 }
 
 // fail writes one error response and flushes (connection-fatal paths).
-func (c *conn) fail(code, msg string) {
+func (c *conn) fail(code errcode.Code, msg string) {
 	c.srv.errors.Add(1)
 	c.pw.writeError(code, msg) //nolint:errcheck
 	c.flush()                  //nolint:errcheck
@@ -279,7 +280,7 @@ func (c *conn) handleSimpleQuery(body []byte) bool {
 	p := payload{b: body}
 	sql, err := p.cstring()
 	if err != nil {
-		c.fail(codeProtocolViolation, "malformed Query message")
+		c.fail(errcode.ProtocolViolation, "malformed Query message")
 		return false
 	}
 	if sql == "" {
@@ -289,7 +290,7 @@ func (c *conn) handleSimpleQuery(body []byte) bool {
 	}
 	if c.shedStatement(sql) {
 		c.srv.errors.Add(1)
-		c.pw.writeError(codeOverloaded, shedMessage) //nolint:errcheck
+		c.pw.writeError(errcode.Overloaded, shedMessage) //nolint:errcheck
 		return c.ready()
 	}
 	ctx, cancel := c.stmtCtx()
@@ -323,6 +324,8 @@ func (c *conn) shedStatement(sql string) bool {
 
 // stmtCtx builds the per-statement context carrying the configured
 // statement timeout (a no-op background context when disabled).
+//
+//sqlcm:ctx-root the statement lifetime starts at the wire front-end; there is no caller context above the connection loop
 func (c *conn) stmtCtx() (context.Context, context.CancelFunc) {
 	st := c.srv.cfg.StatementTimeout
 	if st <= 0 {
@@ -334,15 +337,15 @@ func (c *conn) stmtCtx() (context.Context, context.CancelFunc) {
 // execErrCode maps a statement failure onto its wire code: defensive
 // cancellations (timeout, shed, drain, admin) are the retryable 57014,
 // everything else is the generic execution error.
-func execErrCode(srv *Server, err error) string {
+func execErrCode(srv *Server, err error) errcode.Code {
 	var ce *engine.CancelledError
 	if errors.As(err, &ce) {
 		if ce.Reason == engine.CancelTimeout || ce.Reason == engine.CancelDrain {
 			srv.cancelled.Add(1)
 		}
-		return codeQueryCancelled
+		return errcode.QueryCancelled
 	}
-	return codeSyntaxOrExec
+	return errcode.SyntaxOrExec
 }
 
 // writeResult frames a statement result: RowDescription + DataRows for
@@ -413,7 +416,7 @@ func commandTag(res *engine.Result) string {
 // ---------------------------------------------------------------------------
 
 // extendedError reports an extended-protocol error and arms skip-to-Sync.
-func (c *conn) extendedError(code string, err error) bool {
+func (c *conn) extendedError(code errcode.Code, err error) bool {
 	c.srv.errors.Add(1)
 	c.skipToSync = true
 	c.pw.writeError(code, err.Error()) //nolint:errcheck
@@ -428,31 +431,31 @@ func (c *conn) handleParse(body []byte) bool {
 	name, err1 := p.cstring()
 	sql, err2 := p.cstring()
 	if err1 != nil || err2 != nil {
-		c.fail(codeProtocolViolation, "malformed Parse message")
+		c.fail(errcode.ProtocolViolation, "malformed Parse message")
 		return false
 	}
 	nKinds, err := p.int16()
 	if err != nil {
-		c.fail(codeProtocolViolation, "malformed Parse message")
+		c.fail(errcode.ProtocolViolation, "malformed Parse message")
 		return false
 	}
 	kinds := make([]sqltypes.Kind, 0, nKinds)
 	for i := 0; i < int(nKinds); i++ {
 		oid, err := p.int32()
 		if err != nil {
-			c.fail(codeProtocolViolation, "malformed Parse message")
+			c.fail(errcode.ProtocolViolation, "malformed Parse message")
 			return false
 		}
 		kinds = append(kinds, oidKind(oid))
 	}
 	if name != "" {
 		if _, dup := c.stmts[name]; dup {
-			return c.extendedError(codeDuplicateStmt, fmt.Errorf("prepared statement %q already exists", name))
+			return c.extendedError(errcode.DuplicateStmt, fmt.Errorf("prepared statement %q already exists", name))
 		}
 	}
 	ps, err := c.sess.Prepare(sql)
 	if err != nil {
-		return c.extendedError(codeSyntaxOrExec, err)
+		return c.extendedError(errcode.SyntaxOrExec, err)
 	}
 	c.stmts[name] = &preparedStmt{ps: ps, kinds: kinds}
 	c.pw.begin(msgParseComplete)
@@ -468,44 +471,44 @@ func (c *conn) handleBind(body []byte) bool {
 	portalName, err1 := p.cstring()
 	stmtName, err2 := p.cstring()
 	if err1 != nil || err2 != nil {
-		c.fail(codeProtocolViolation, "malformed Bind message")
+		c.fail(errcode.ProtocolViolation, "malformed Bind message")
 		return false
 	}
 	stmt, ok := c.stmts[stmtName]
 	if !ok {
-		return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown prepared statement %q", stmtName))
+		return c.extendedError(errcode.UndefinedStmt, fmt.Errorf("unknown prepared statement %q", stmtName))
 	}
 	// Parameter format codes (all must be text).
 	nFmt, err := p.int16()
 	if err != nil {
-		c.fail(codeProtocolViolation, "malformed Bind message")
+		c.fail(errcode.ProtocolViolation, "malformed Bind message")
 		return false
 	}
 	for i := 0; i < int(nFmt); i++ {
 		f, err := p.int16()
 		if err != nil {
-			c.fail(codeProtocolViolation, "malformed Bind message")
+			c.fail(errcode.ProtocolViolation, "malformed Bind message")
 			return false
 		}
 		if f != 0 {
-			return c.extendedError(codeProtocolViolation, fmt.Errorf("binary parameter format not supported"))
+			return c.extendedError(errcode.ProtocolViolation, fmt.Errorf("binary parameter format not supported"))
 		}
 	}
 	nParams, err := p.int16()
 	if err != nil {
-		c.fail(codeProtocolViolation, "malformed Bind message")
+		c.fail(errcode.ProtocolViolation, "malformed Bind message")
 		return false
 	}
 	names := stmt.ps.ParamNames()
 	if int(nParams) != len(names) {
-		return c.extendedError(codeSyntaxOrExec,
+		return c.extendedError(errcode.SyntaxOrExec,
 			fmt.Errorf("statement has %d parameters, bind supplies %d", len(names), nParams))
 	}
 	params := make(map[string]sqltypes.Value, nParams)
 	for i := 0; i < int(nParams); i++ {
 		raw, notNull, err := p.lenBytes()
 		if err != nil {
-			c.fail(codeProtocolViolation, "malformed Bind message")
+			c.fail(errcode.ProtocolViolation, "malformed Bind message")
 			return false
 		}
 		if !notNull {
@@ -518,7 +521,7 @@ func (c *conn) handleBind(body []byte) bool {
 		}
 		v, err := decodeValue(kind, string(raw))
 		if err != nil {
-			return c.extendedError(codeSyntaxOrExec, err)
+			return c.extendedError(errcode.SyntaxOrExec, err)
 		}
 		params[names[i]] = v
 	}
@@ -536,15 +539,15 @@ func (c *conn) handleExecute(body []byte) bool {
 	p := payload{b: body}
 	portalName, err := p.cstring()
 	if err != nil {
-		c.fail(codeProtocolViolation, "malformed Execute message")
+		c.fail(errcode.ProtocolViolation, "malformed Execute message")
 		return false
 	}
 	pt, ok := c.portals[portalName]
 	if !ok {
-		return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown portal %q", portalName))
+		return c.extendedError(errcode.UndefinedStmt, fmt.Errorf("unknown portal %q", portalName))
 	}
 	if c.shedStatement(pt.stmt.ps.SQL()) {
-		return c.extendedError(codeOverloaded, errors.New(shedMessage))
+		return c.extendedError(errcode.Overloaded, errors.New(shedMessage))
 	}
 	ctx, cancel := c.stmtCtx()
 	res, execErr := pt.stmt.ps.ExecContext(ctx, pt.params)
@@ -568,17 +571,17 @@ func (c *conn) handleDescribe(body []byte) bool {
 	kind, err1 := p.byte()
 	name, err2 := p.cstring()
 	if err1 != nil || err2 != nil {
-		c.fail(codeProtocolViolation, "malformed Describe message")
+		c.fail(errcode.ProtocolViolation, "malformed Describe message")
 		return false
 	}
 	switch kind {
 	case 'S':
 		if _, ok := c.stmts[name]; !ok {
-			return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown prepared statement %q", name))
+			return c.extendedError(errcode.UndefinedStmt, fmt.Errorf("unknown prepared statement %q", name))
 		}
 	case 'P':
 		if _, ok := c.portals[name]; !ok {
-			return c.extendedError(codeUndefinedStmt, fmt.Errorf("unknown portal %q", name))
+			return c.extendedError(errcode.UndefinedStmt, fmt.Errorf("unknown portal %q", name))
 		}
 	}
 	// Documented deviation: row shapes are not known before execution, so
@@ -596,7 +599,7 @@ func (c *conn) handleClose(body []byte) bool {
 	kind, err1 := p.byte()
 	name, err2 := p.cstring()
 	if err1 != nil || err2 != nil {
-		c.fail(codeProtocolViolation, "malformed Close message")
+		c.fail(errcode.ProtocolViolation, "malformed Close message")
 		return false
 	}
 	switch kind {

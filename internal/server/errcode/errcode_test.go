@@ -1,0 +1,77 @@
+package errcode
+
+import "testing"
+
+// Every entry must be a well-formed SQLSTATE with a unique code and a
+// unique name, and the registry helpers must agree with the table.
+func TestTableWellFormed(t *testing.T) {
+	seen := map[string]string{}
+	names := map[string]bool{}
+	for _, c := range All() {
+		if len(c.SQLSTATE) != 5 {
+			t.Errorf("%s: SQLSTATE %q is not five characters", c.Name, c.SQLSTATE)
+		}
+		for i := 0; i < len(c.SQLSTATE); i++ {
+			ch := c.SQLSTATE[i]
+			if (ch < '0' || ch > '9') && (ch < 'A' || ch > 'Z') {
+				t.Errorf("%s: SQLSTATE %q has invalid character %q", c.Name, c.SQLSTATE, ch)
+			}
+		}
+		if prev, dup := seen[c.SQLSTATE]; dup {
+			t.Errorf("SQLSTATE %q declared by both %s and %s", c.SQLSTATE, prev, c.Name)
+		}
+		seen[c.SQLSTATE] = c.Name
+		if c.Name == "" {
+			t.Errorf("SQLSTATE %q has no symbolic name", c.SQLSTATE)
+		}
+		if names[c.Name] {
+			t.Errorf("name %q declared twice", c.Name)
+		}
+		names[c.Name] = true
+		got, ok := BySQLSTATE(c.SQLSTATE)
+		if !ok || got != c {
+			t.Errorf("BySQLSTATE(%q) = %+v, %v; want the table entry", c.SQLSTATE, got, ok)
+		}
+	}
+}
+
+// The retryability class is the contract loadgen and real clients build
+// their retry loops on: pin it.
+func TestRetryability(t *testing.T) {
+	for _, tc := range []struct {
+		code Code
+		want bool
+	}{
+		{ProtocolViolation, false},
+		{UndefinedStmt, false},
+		{InvalidPassword, false},
+		{SyntaxOrExec, false},
+		{DuplicateStmt, false},
+		{TooManyConns, true},
+		{Overloaded, true},
+		{QueryCancelled, true},
+		{AdminShutdown, true},
+	} {
+		if got := Retryable(tc.code.SQLSTATE); got != tc.want {
+			t.Errorf("Retryable(%s %s) = %v, want %v", tc.code.Name, tc.code.SQLSTATE, got, tc.want)
+		}
+	}
+	if Retryable("99999") {
+		t.Error("unknown code must not be retryable")
+	}
+}
+
+// The two defensive refusals that synthesize monitoring events must map
+// to the Query.Cancelled monitored event (the Appendix-A schema name).
+func TestEventMapping(t *testing.T) {
+	for _, c := range []Code{Overloaded, QueryCancelled} {
+		if c.Event != "Query.Cancelled" {
+			t.Errorf("%s: Event = %q, want Query.Cancelled", c.Name, c.Event)
+		}
+	}
+	for _, c := range []Code{ProtocolViolation, SyntaxOrExec, InvalidPassword} {
+		if c.Event != "" {
+			t.Errorf("%s: Event = %q, want none", c.Name, c.Event)
+		}
+	}
+}

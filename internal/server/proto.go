@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"sqlcm/internal/server/errcode"
 	"sqlcm/internal/sqltypes"
 )
 
@@ -397,35 +398,15 @@ func (e *WireError) Error() string {
 	return fmt.Sprintf("%s (%s): %s", e.Severity, e.Code, e.Message)
 }
 
-// SQLSTATE-style codes used by this front-end.
-const (
-	codeProtocolViolation = "08P01"
-	codeTooManyConns      = "53300"
-	codeInvalidPassword   = "28P01"
-	codeAdminShutdown     = "57P01"
-	codeSyntaxOrExec      = "42601"
-	codeDuplicateStmt     = "42P05"
-	codeUndefinedStmt     = "26000"
-	codeQueryCancelled    = "57014" // statement cancelled defensively (timeout/drain); retryable
-	codeOverloaded        = "53400" // statement shed by admission control; retryable
-)
-
-// Exported aliases for the codes clients classify on: connection-level
-// refusals and the two retryable defensive refusals.
-const (
-	CodeTooManyConns   = codeTooManyConns
-	CodeAdminShutdown  = codeAdminShutdown
-	CodeQueryCancelled = codeQueryCancelled
-	CodeOverloaded     = codeOverloaded
-)
-
-// writeError frames one ErrorResponse.
-func (pw *protoWriter) writeError(code, msg string) error {
+// writeError frames one ErrorResponse. The code comes from the
+// internal/server/errcode table — the single source for the wire
+// taxonomy; raw SQLSTATE literals here are analyzer findings.
+func (pw *protoWriter) writeError(code errcode.Code, msg string) error {
 	pw.begin(msgErrorResponse)
 	pw.putByte('S')
 	pw.putString("ERROR")
 	pw.putByte('C')
-	pw.putString(code)
+	pw.putString(code.SQLSTATE)
 	pw.putByte('M')
 	pw.putString(msg)
 	pw.putByte(0)

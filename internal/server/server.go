@@ -10,6 +10,7 @@ import (
 
 	"sqlcm/internal/engine"
 	"sqlcm/internal/lockcheck"
+	"sqlcm/internal/server/errcode"
 )
 
 // Config tunes a Server.
@@ -177,13 +178,13 @@ func (s *Server) acceptLoop() {
 		}
 		s.accepted.Add(1)
 		if s.closing.Load() {
-			s.refuse(nc, codeAdminShutdown, "server is shutting down")
+			s.refuse(nc, errcode.AdminShutdown, "server is shutting down")
 			continue
 		}
 		c := &conn{srv: s, nc: nc}
 		if !s.admit(c) {
 			s.rejected.Add(1)
-			s.refuse(nc, codeTooManyConns, "too many connections")
+			s.refuse(nc, errcode.TooManyConns, "too many connections")
 			continue
 		}
 		s.wg.Add(1)
@@ -198,7 +199,7 @@ func (s *Server) acceptLoop() {
 // refuse answers a connection we will not serve with an error response
 // and closes it (best effort; the client may not even read it, so the
 // deadline failure mode is just a faster close).
-func (s *Server) refuse(nc net.Conn, code, msg string) {
+func (s *Server) refuse(nc net.Conn, code errcode.Code, msg string) {
 	if err := nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)); err == nil {
 		pw := newProtoWriter(nc)
 		pw.writeError(code, msg) //nolint:errcheck

@@ -13,6 +13,7 @@ import (
 	"sqlcm/internal/outbox"
 	"sqlcm/internal/rules"
 	"sqlcm/internal/server"
+	"sqlcm/internal/server/errcode"
 	"sqlcm/internal/sqltypes"
 	"sqlcm/internal/testutil"
 )
@@ -141,10 +142,10 @@ func TestWirePreparedStatements(t *testing.T) {
 	// Extended-protocol errors surface as WireError and recover on Sync
 	// (the client syncs per call), leaving the connection usable.
 	var we *server.WireError
-	if _, err := cli.ExecPrepared("no_such_stmt"); !errors.As(err, &we) || we.Code != "26000" {
+	if _, err := cli.ExecPrepared("no_such_stmt"); !errors.As(err, &we) || we.Code != errcode.UndefinedStmt.SQLSTATE {
 		t.Fatalf("unknown stmt: %v", err)
 	}
-	if err := cli.Prepare("by_id", "SELECT 1", 0); !errors.As(err, &we) || we.Code != "42P05" {
+	if err := cli.Prepare("by_id", "SELECT 1", 0); !errors.As(err, &we) || we.Code != errcode.DuplicateStmt.SQLSTATE {
 		t.Fatalf("duplicate stmt: %v", err)
 	}
 	if err := cli.Prepare("bad", "SELECT FROM WHERE"); !errors.As(err, &we) {
@@ -176,7 +177,7 @@ func TestWirePasswordAuth(t *testing.T) {
 		t.Fatal("wrong password accepted")
 	} else {
 		var we *server.WireError
-		if !errors.As(err, &we) || we.Code != "28P01" {
+		if !errors.As(err, &we) || we.Code != errcode.InvalidPassword.SQLSTATE {
 			t.Fatalf("wrong password error: %v", err)
 		}
 	}
@@ -198,7 +199,7 @@ func TestWireMaxConns(t *testing.T) {
 	_ = c2
 	_, err := server.Dial(srv.Addr().String(), server.ClientConfig{User: "u"})
 	var we *server.WireError
-	if !errors.As(err, &we) || we.Code != "53300" {
+	if !errors.As(err, &we) || we.Code != errcode.TooManyConns.SQLSTATE {
 		t.Fatalf("third connection: got %v, want 53300 WireError", err)
 	}
 	if st := srv.Stats(); st.Rejected != 1 || st.Active != 2 {

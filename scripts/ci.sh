@@ -13,14 +13,16 @@ cd "$(dirname "$0")/.."
 go build ./...
 
 # Lint tier: go vet, the in-repo analyzers (hot-path hygiene, rule-callback
-# recover discipline, the //sqlcm:lock hierarchy checker, rule-set static
-# analysis), and pinned staticcheck (offline-tolerant; see
-# scripts/staticcheck.sh). docs/lock-order.md must be current relative to
-# the annotations. All hard gates.
-go vet ./...
-go run ./cmd/sqlcm-vet -code .
-go run ./cmd/sqlcm-vet -lockdoc .
-go run ./cmd/sqlcm-vet -mode strict examples/rulesets
+# recover discipline, context propagation, cancellation points, goroutine
+# ownership, SQLSTATE single-sourcing, and the //sqlcm:lock hierarchy
+# checker with cross-package acquire summaries; `sqlcm-vet -analyzers`
+# lists them), rule-set static analysis, and pinned staticcheck
+# (offline-tolerant; see scripts/staticcheck.sh). docs/lock-order.md must
+# be current relative to the annotations. All hard gates, shared with the
+# local workflow via `make vet`; vet-bench additionally fails the build
+# if the whole-tree analysis run blows its 30-second latency budget.
+make vet
+make vet-bench
 ./scripts/staticcheck.sh
 go test ./...
 go test -race ./...
