@@ -98,9 +98,9 @@ bench:
 # Committed benchmark snapshot: monitoring hot paths (event dispatch,
 # LAT observe), wire-level load percentiles at a fixed connection count
 # with monitoring on vs off, and the same load clean vs under 5ms network
-# jitter. Full run; see BENCH_7.json.
+# jitter. Full run; see BENCH_9.json.
 bench-json:
-	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_7.json
+	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_9.json
 
 # Loopback smoke tier: a short open-loop load run (internal/loadgen)
 # against an in-process network front-end under -race — nonzero

@@ -472,11 +472,11 @@ func benchLATObserveParallel(b *testing.B, hot bool) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var nextRange int64
+	var nextRange atomic.Int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
-		base := atomic.AddInt64(&nextRange, 1) << 8
+		base := nextRange.Add(1) << 8
 		i := 0
 		for pb.Next() {
 			i++

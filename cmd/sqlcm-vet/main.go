@@ -19,8 +19,12 @@
 // loaded, type-checked (offline, against GOROOT source) and run through
 // SQLCM's custom source analyzers — hot-path hygiene, the recover
 // discipline for rule callbacks, context propagation, cancellation-point
-// proofs for //sqlcm:cancellable loops, goroutine ownership, and the
-// SQLSTATE single-source check; see internal/analysis — and through the
+// proofs for //sqlcm:cancellable loops, goroutine ownership, the
+// SQLSTATE single-source check, and the data-protection suite
+// (//sqlcm:guards/guarded-by field access under the declared lock class,
+// atomics-everywhere discipline for sync/atomic fields, and COW publish
+// checking for //sqlcm:cow snapshots); see internal/analysis — and
+// through the
 // lock-hierarchy checker (declared //sqlcm:lock order, missing unlocks,
 // sends and outbox enqueues under latches; see internal/lockcheck/check),
 // which additionally receives the analysis layer's cross-package lock
@@ -28,9 +32,11 @@
 // latch is order-checked like a local acquire. -analyzers lists the
 // registered checks.
 //
-// In -lockdoc mode the tree's //sqlcm:lock annotations are rendered as
-// docs/lock-order.md: with -write the file is regenerated, without it the
-// command fails if the checked-in document is stale.
+// In -lockdoc mode the tree's //sqlcm:lock, //sqlcm:guards,
+// //sqlcm:guarded-by and //sqlcm:cow annotations are rendered as
+// docs/lock-order.md (order table plus the fields each class guards):
+// with -write the file is regenerated, without it the command fails if
+// the checked-in document is stale.
 //
 // Exit status is 1 if any error-severity finding (or unreadable input)
 // was reported; -mode strict also fails on warnings.

@@ -35,8 +35,27 @@
 //	                       this line is owned by the named mechanism.
 //	//sqlcm:ctx-strict   — package-doc directive: apply the serving-path
 //	                       context strictness to this package.
-//	//sqlcm:allow ...    — on (or immediately above) an offending line:
-//	                       suppress the finding, with a reason.
+//	//sqlcm:guards <field,...>
+//	                     — on a //sqlcm:lock mutex field: the listed
+//	                       sibling fields may only be read with the
+//	                       mutex's class held and only written (or
+//	                       escaped, or method-called) with its write
+//	                       side held. The special value 'none' declares
+//	                       that the mutex guards no plain fields.
+//	//sqlcm:guarded-by <class>
+//	                     — per-field spelling of the same contract, for
+//	                       fields guarded by a lock class declared on
+//	                       another struct.
+//	//sqlcm:cow <writer-class>
+//	                     — this field is a copy-on-write snapshot: it
+//	                       must be an atomic.Pointer[T] or atomic.Value,
+//	                       Store/Swap/CompareAndSwap need the writer
+//	                       class's write side held, and values obtained
+//	                       from Load are never mutated in place.
+//	//sqlcm:allow <reason>
+//	                     — on (or immediately above) an offending line:
+//	                       suppress the finding. The reason is
+//	                       mandatory; a bare allow is itself a finding.
 //
 // The directives live with the code they constrain, so the checks keep
 // holding as the hot path evolves without a central configuration file.
@@ -93,7 +112,7 @@ type Analyzer struct {
 
 // All returns every registered analyzer.
 func All() []*Analyzer {
-	return []*Analyzer{HotPath, Recovered, CtxProp, CancelPoint, GoOwnership, ErrCode}
+	return []*Analyzer{HotPath, Recovered, CtxProp, CancelPoint, GoOwnership, ErrCode, GuardedBy, AtomicField, CowPublish}
 }
 
 // RunTree loads, type-checks and analyzes every package under root.

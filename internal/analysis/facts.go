@@ -39,6 +39,19 @@ type Facts struct {
 	LockClasses map[types.Object][]string
 	// LockFields maps //sqlcm:lock-annotated mutex fields to their class.
 	LockFields map[types.Object]string
+	// GuardedBy maps struct fields to the lock class that must be held to
+	// touch them, from either spelling: a //sqlcm:guards list on the mutex
+	// field, or a per-field //sqlcm:guarded-by <class> directive.
+	GuardedBy map[types.Object]string
+	// CowFields maps //sqlcm:cow-annotated copy-on-write pointer fields to
+	// their declared writer class: stores require the class, loads are
+	// lock-free, and the published value is immutable.
+	CowFields map[types.Object]string
+	// AtomicUse records every struct field this package accesses through a
+	// raw sync/atomic call (atomic.AddInt64(&s.n, 1) style). The atomicfield
+	// analyzer unions these across the program: a field atomically accessed
+	// anywhere must be atomically accessed everywhere.
+	AtomicUse map[types.Object]bool
 	// CtxStrict is set by a package-doc //sqlcm:ctx-strict directive:
 	// the ctxprop Background()/TODO() ban applies to this package even
 	// outside the hardcoded serving-path list (used by fixtures).
@@ -54,6 +67,9 @@ func newFacts() *Facts {
 		SelfOwned:     map[types.Object]bool{},
 		LockClasses:   map[types.Object][]string{},
 		LockFields:    map[types.Object]string{},
+		GuardedBy:     map[types.Object]string{},
+		CowFields:     map[types.Object]string{},
+		AtomicUse:     map[types.Object]bool{},
 	}
 }
 
@@ -166,6 +182,30 @@ func computeFacts(prog *Program, pkg *Package) {
 func collectTypeFacts(info *types.Info, f *Facts, ts *ast.TypeSpec) {
 	switch t := ts.Type.(type) {
 	case *ast.StructType:
+		// First pass: field-name → object map (guards lists name siblings)
+		// and the per-field directives.
+		fieldObjs := map[string]types.Object{}
+		for _, field := range t.Fields.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					fieldObjs[name.Name] = obj
+				}
+			}
+			if class, ok := fieldDirective(field, "guarded-by"); ok && class != "" {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						f.GuardedBy[obj] = class
+					}
+				}
+			}
+			if class, ok := fieldDirective(field, "cow"); ok && class != "" {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						f.CowFields[obj] = class
+					}
+				}
+			}
+		}
 		for _, field := range t.Fields.List {
 			class, ok := fieldDirective(field, "lock")
 			if !ok {
@@ -177,6 +217,20 @@ func collectTypeFacts(info *types.Info, f *Facts, ts *ast.TypeSpec) {
 			for _, name := range field.Names {
 				if obj := info.Defs[name]; obj != nil && class != "" {
 					f.LockFields[obj] = class
+				}
+			}
+			// //sqlcm:guards <field,...> on the mutex binds the named
+			// sibling fields to this class ("none" declares explicitly that
+			// the mutex guards no plain fields). Unresolvable names are
+			// diagnosed by the guardedby analyzer, not here.
+			if list, ok := fieldDirective(field, "guards"); ok && class != "" {
+				for _, fname := range splitGuardsList(list) {
+					if fname == "none" {
+						continue
+					}
+					if obj := fieldObjs[fname]; obj != nil {
+						f.GuardedBy[obj] = class
+					}
 				}
 			}
 		}
@@ -208,6 +262,13 @@ func summarizeFunc(prog *Program, pkg *Package, fn *ast.FuncDecl, obj types.Obje
 		case *ast.CallExpr:
 			if isCtxCancelCheck(info, n) {
 				s.directCancel = true
+			}
+			if isRawAtomicCall(info, n) {
+				for _, arg := range n.Args {
+					if obj := addrOfFieldArg(info, arg); obj != nil {
+						pkg.Facts.AtomicUse[obj] = true
+					}
+				}
 			}
 			if isWaitGroupOp(info, n, "Done") {
 				s.selfOwned = true
@@ -369,6 +430,62 @@ func isStopChan(t types.Type) bool {
 	}
 	st, ok := ch.Elem().Underlying().(*types.Struct)
 	return ok && st.NumFields() == 0
+}
+
+// splitGuardsList parses the argument of //sqlcm:guards: field names
+// separated by commas (spaces tolerated).
+func splitGuardsList(list string) []string {
+	var out []string
+	for _, part := range strings.Split(list, ",") {
+		for _, name := range strings.Fields(part) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// isRawAtomicCall reports whether the call is a sync/atomic package-level
+// function (the raw atomic.AddInt64(&x, 1) style). Methods on the typed
+// atomic.Int64 family also live in package sync/atomic but take the field
+// as their receiver, not as an &arg, so they are deliberately excluded:
+// the held-set walker must see e.idx.Store(v) as a method call on the
+// field for the cowpublish checks.
+func isRawAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := calleeOf(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// addrOfFieldArg resolves an &x.f argument to the struct field object f,
+// or nil when the argument is not an address of a field selection.
+func addrOfFieldArg(info *types.Info, arg ast.Expr) types.Object {
+	un, ok := unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	sel, ok := unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return fieldObjOf(info, sel)
+}
+
+// fieldObjOf resolves a selector expression to the struct field it
+// selects, or nil for non-field selections (methods, package members).
+func fieldObjOf(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	var obj types.Object
+	if s := info.Selections[sel]; s != nil {
+		obj = s.Obj()
+	} else {
+		obj = info.Uses[sel.Sel]
+	}
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
 }
 
 func unparen(e ast.Expr) ast.Expr {

@@ -12,15 +12,20 @@ var update = flag.Bool("update", false, "rewrite golden files from current analy
 
 // TestSeededFixtureGoldens pins the exact diagnostics for one seeded
 // defect per analyzer: a dropped context, a poll-free row loop, an
-// ownerless goroutine, and a raw SQLSTATE literal. Each fixture also
-// carries the fixed shape of the same pattern, so the goldens prove both
-// that the defect fires and that the repair silences it.
+// ownerless goroutine, a raw SQLSTATE literal, an unguarded field
+// access, a mixed atomic/plain counter, and an in-place COW mutation.
+// Each fixture also carries the fixed shape of the same pattern, so the
+// goldens prove both that the defect fires and that the repair silences
+// it.
 func TestSeededFixtureGoldens(t *testing.T) {
 	cases := []string{
 		"ctxdrop",
 		"loopnopoll",
 		"orphangoroutine",
 		"rawsqlstate",
+		"guardmiss",
+		"mixedatomic",
+		"cowinplace",
 	}
 	for _, name := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -34,6 +34,11 @@ type Program struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+
+	// Lazy whole-program unions over per-package facts, built on first
+	// use by the data-protection analyzers (single-threaded RunProgram).
+	atomicTargets map[types.Object]bool
+	lockClassSet  map[string]bool
 }
 
 // Package is one loaded package: build-selected non-test files carry

@@ -1,0 +1,63 @@
+// Package cowinplace seeds copy-on-write publish violations for the
+// cowpublish analyzer: a Store outside the writer lock, an in-place
+// mutation of a loaded snapshot, and a cow annotation on a field that is
+// not an atomic pointer. The repaired build-then-swap shape rides along
+// and stays silent.
+package cowinplace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type engine struct {
+	// writeMu serializes rule-set writers; its only protected state is
+	// the COW index below.
+	//sqlcm:lock cow.write
+	//sqlcm:guards none
+	writeMu sync.Mutex
+
+	// idx is the published read-only index: loads are lock-free, stores
+	// happen under writeMu.
+	//sqlcm:cow cow.write
+	idx atomic.Pointer[map[string]int]
+}
+
+// badStore publishes without holding the writer lock: two concurrent
+// builders would silently drop one another's updates.
+func (e *engine) badStore(m *map[string]int) {
+	e.idx.Store(m)
+}
+
+// badMutate edits a loaded snapshot in place, racing every lock-free
+// reader of the published value.
+func (e *engine) badMutate(k string) {
+	m := e.idx.Load()
+	(*m)[k] = 1
+}
+
+// goodSwap is the repaired shape: copy, modify the copy, publish under
+// the writer lock.
+func (e *engine) goodSwap(k string) {
+	e.writeMu.Lock()
+	old := e.idx.Load()
+	next := make(map[string]int, len(*old)+1)
+	for kk, v := range *old {
+		next[kk] = v
+	}
+	next[k] = 1
+	e.idx.Store(&next)
+	e.writeMu.Unlock()
+}
+
+type badEngine struct {
+	// mu serializes writers of the mis-declared field below.
+	//sqlcm:lock cow.badwrite
+	//sqlcm:guards none
+	mu sync.Mutex
+
+	// bad claims copy-on-write semantics on a plain map: nothing makes
+	// the loads or stores atomic.
+	//sqlcm:cow cow.badwrite
+	bad map[string]int
+}

@@ -1,0 +1,58 @@
+// Package guardmiss seeds guarded-by violations for the guardedby
+// analyzer: a read of a guarded field with no lock held and a write made
+// under the read side only. The repaired shapes ride along — a properly
+// write-locked update, initialization of a fresh unpublished value, and
+// an //sqlcm:allow with a reason — so the golden proves the defects fire
+// and the repairs stay silent.
+package guardmiss
+
+import "sync"
+
+type registry struct {
+	// mu protects the entry map and insertion counter.
+	//sqlcm:lock gm.registry
+	//sqlcm:guards entries, n
+	mu      sync.RWMutex
+	entries map[string]int
+	n       int
+}
+
+// badRead reads a guarded field with no lock held at all.
+func (r *registry) badRead(k string) int {
+	return r.entries[k]
+}
+
+// badWrite holds only the read side while mutating the counter.
+func (r *registry) badWrite() {
+	r.mu.RLock()
+	r.n++
+	r.mu.RUnlock()
+}
+
+// goodWrite is the repaired shape: the write side covers both fields.
+func (r *registry) goodWrite(k string) {
+	r.mu.Lock()
+	r.entries[k] = r.n
+	r.n++
+	r.mu.Unlock()
+}
+
+// goodRead holds the read side for reads.
+func (r *registry) goodRead(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[k]
+}
+
+// newRegistry initializes fields on a fresh value no other goroutine can
+// see yet: exempt without any annotation.
+func newRegistry() *registry {
+	r := &registry{}
+	r.entries = make(map[string]int)
+	return r
+}
+
+// snapshotLen documents why the unlocked read is safe instead of locking.
+func (r *registry) snapshotLen() int {
+	return len(r.entries) //sqlcm:allow test-only helper, callers synchronize externally
+}

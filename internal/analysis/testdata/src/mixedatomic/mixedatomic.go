@@ -1,0 +1,44 @@
+// Package mixedatomic seeds accessed-atomically-everywhere violations
+// for the atomicfield analyzer: a counter bumped through sync/atomic in
+// one function but read and written plainly in others, an address escape
+// to a non-atomic callee, and a struct copy that carries atomic state.
+// The repaired shape — a typed atomic.Int64, where the type system
+// forbids plain access — rides along and stays silent.
+package mixedatomic
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	cold int64 // never touched atomically: plain access is fine
+}
+
+// bump is the atomic side of the split personality.
+func (s *stats) bump() { atomic.AddInt64(&s.hits, 1) }
+
+// badRead reads the counter without an atomic load.
+func (s *stats) badRead() int64 { return s.hits }
+
+// badWrite zeroes the counter with a plain store.
+func (s *stats) badWrite() { s.hits = 0 }
+
+// scale is an arbitrary non-atomic callee.
+func scale(p *int64) { *p *= 2 }
+
+// badEscape leaks the counter's address outside the atomic API.
+func (s *stats) badEscape() { scale(&s.hits) }
+
+// badCopy copies the whole struct, reading the atomic field plainly.
+func (s *stats) badCopy() stats { return *s }
+
+// plainAccess touches only the never-atomic field: no finding.
+func (s *stats) plainAccess() int64 { return s.cold }
+
+// typedStats is the repaired shape: a typed atomic makes every access an
+// atomic one by construction.
+type typedStats struct {
+	hits atomic.Int64
+}
+
+func (s *typedStats) bump()       { s.hits.Add(1) }
+func (s *typedStats) read() int64 { return s.hits.Load() }

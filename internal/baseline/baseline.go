@@ -73,6 +73,7 @@ type Puller struct {
 
 	// mu protects the observation map.
 	//sqlcm:lock baseline.puller
+	//sqlcm:guards observed, polls
 	mu       sync.Mutex
 	observed map[string]time.Duration
 	polls    int64
@@ -171,6 +172,7 @@ type HistoryRecorder struct {
 
 	// mu protects the history buffer.
 	//sqlcm:lock baseline.history
+	//sqlcm:guards history, charged, observed, maxBytes
 	mu      sync.Mutex
 	history []historyEntry
 	charged int64

@@ -83,6 +83,7 @@ type Stats struct {
 type Catalog struct {
 	// mu protects the table, procedure and stats maps.
 	//sqlcm:lock catalog.registry
+	//sqlcm:guards tables, procs, stats, nextID
 	mu     sync.RWMutex
 	tables map[string]*Table
 	procs  map[string]*Procedure

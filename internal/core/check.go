@@ -24,6 +24,7 @@ type ruleChecker struct {
 
 	// mu protects the per-rule source and diagnostic maps.
 	//sqlcm:lock core.rulecheck
+	//sqlcm:guards condSrc, diags
 	mu lockcheck.Mutex
 	// condSrc remembers each rule's original condition text so
 	// diagnostics can carry source offsets.

@@ -26,8 +26,9 @@ type checkpointer struct {
 	s        *SQLCM
 	interval time.Duration
 
-	// mu protects the mark and generation maps.
+	// mu protects the mark and generation maps and the loop state.
 	//sqlcm:lock core.checkpoint
+	//sqlcm:guards marks, lastGen, started
 	mu      lockcheck.Mutex
 	marks   map[string]string // LAT name → disk table
 	lastGen map[string]int64  // LAT name → last committed generation

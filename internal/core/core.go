@@ -41,6 +41,7 @@ type Runner interface {
 type MemMailer struct {
 	// mu protects the sent log.
 	//sqlcm:lock core.mailer
+	//sqlcm:guards sent
 	mu   sync.Mutex
 	sent []Mail
 }
@@ -71,6 +72,7 @@ func (m *MemMailer) Sent() []Mail {
 type MemRunner struct {
 	// mu protects the command log.
 	//sqlcm:lock core.runner
+	//sqlcm:guards cmds
 	mu   sync.Mutex
 	cmds []string
 }
@@ -153,6 +155,7 @@ type SQLCM struct {
 
 	// latMu protects the LAT registry.
 	//sqlcm:lock core.lats
+	//sqlcm:guards lats
 	latMu lockcheck.RWMutex
 	lats  map[string]*lat.Table
 

@@ -59,16 +59,19 @@ type Engine struct {
 
 	// hooksMu protects the installed hook set.
 	//sqlcm:lock engine.hooks
+	//sqlcm:guards hooks
 	hooksMu lockcheck.RWMutex
 	hooks   Hooks
 
 	// planMu protects the plan cache.
 	//sqlcm:lock engine.plan
+	//sqlcm:guards planCache
 	planMu    lockcheck.Mutex
 	planCache map[string]*cachedPlan
 
 	// queryMu protects the active-query and transaction-info maps.
 	//sqlcm:lock engine.query
+	//sqlcm:guards active, byTxn, txnInfo
 	queryMu lockcheck.RWMutex
 	// active queries by query id and the current query of each transaction
 	active  map[int64]*QueryInfo

@@ -89,6 +89,7 @@ type StoreProvider interface {
 type Registry struct {
 	// mu protects the store map.
 	//sqlcm:lock exec.registry
+	//sqlcm:guards stores
 	mu     sync.RWMutex
 	stores map[string]*TableStore
 }

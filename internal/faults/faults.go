@@ -103,6 +103,7 @@ type FlakyPersister struct {
 
 	// mu protects the failure-mode counters.
 	//sqlcm:lock faults.persister
+	//sqlcm:guards remaining, passLeft, passSet
 	mu        sync.Mutex
 	remaining int
 	passLeft  int // with passSet, calls allowed before hard failure
@@ -172,6 +173,7 @@ func (p *FlakyPersister) Persist(table string, cols []string, kinds []sqltypes.K
 type FlakyMailer struct {
 	// mu protects the sent log.
 	//sqlcm:lock faults.mailer
+	//sqlcm:guards sent
 	mu     sync.Mutex
 	sent   []string
 	broken atomic.Bool
@@ -206,6 +208,7 @@ func (m *FlakyMailer) Sent() []string {
 type HungRunner struct {
 	// mu protects the hang channel and command log.
 	//sqlcm:lock faults.runner
+	//sqlcm:guards hang, cmds
 	mu       sync.Mutex
 	hang     chan struct{} // non-nil: Run blocks on it
 	cmds     []string

@@ -29,7 +29,9 @@ const (
 // BTree is an ordered index from encoded keys to RIDs.
 type BTree struct {
 	// mu protects the whole tree (coarse-grained; fine for index sizes here).
+	// unique is immutable after construction.
 	//sqlcm:lock index.btree
+	//sqlcm:guards root, size
 	mu     sync.RWMutex
 	root   *node
 	unique bool
@@ -219,6 +221,8 @@ func (n *node) splitInternal() ([]byte, *node) {
 }
 
 // lookupLocked returns the RID of the first entry with exactly key.
+//
+//sqlcm:lock-held index.btree
 func (t *BTree) lookupLocked(key []byte) (storage.RID, bool) {
 	n := t.root
 	for !n.leaf {

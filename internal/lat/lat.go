@@ -215,6 +215,7 @@ const maxFreePerShard = 4
 type latShard struct {
 	// mu protects the stripe's group map and free list.
 	//sqlcm:lock lat.shard after lat.order
+	//sqlcm:guards groups, free
 	mu     lockcheck.RWMutex
 	groups map[string]*row
 	free   []*row
@@ -244,13 +245,14 @@ type Table struct {
 	bounded bool
 	// orderMu is the ordering latch: eviction heap + row heapIdx.
 	//sqlcm:lock lat.order
+	//sqlcm:guards order
 	orderMu lockcheck.Mutex
 	order   rowHeap
 
 	mem     atomic.Int64
 	nGroups atomic.Int64
 
-	onEvict atomic.Value // func(EvictedRow)
+	onEvict atomic.Pointer[func(EvictedRow)]
 
 	inserts   atomic.Int64
 	newGroups atomic.Int64
@@ -266,6 +268,7 @@ type Table struct {
 type row struct {
 	// mu is the row latch: aggregate state, mem, live, key.
 	//sqlcm:lock lat.row after lat.shard
+	//sqlcm:guards key, groupVal, aggs, mem, live
 	mu       lockcheck.Mutex
 	key      string
 	groupVal []sqltypes.Value
@@ -273,8 +276,12 @@ type row struct {
 	mem      int64
 	live     bool
 
-	heapIdx  int          // protected by the ordering latch
-	orderKey atomic.Value // []sqltypes.Value snapshot for heap ordering
+	// heapIdx is the row's position in the eviction heap.
+	//sqlcm:guarded-by lat.order
+	heapIdx int
+	// orderKey is the atomically published ordering-column snapshot for
+	// heap comparisons, so they never need the row latch.
+	orderKey atomic.Pointer[[]sqltypes.Value]
 }
 
 // shardFor picks the stripe for an encoded grouping key.
@@ -319,7 +326,13 @@ func (t *Table) SetClock(fn func() time.Time) { t.clock = fn }
 func (t *Table) SetClockSource(c clock.Clock) { t.clock = c.Now }
 
 // SetOnEvict installs the eviction callback.
-func (t *Table) SetOnEvict(fn func(EvictedRow)) { t.onEvict.Store(fn) }
+func (t *Table) SetOnEvict(fn func(EvictedRow)) {
+	if fn == nil {
+		t.onEvict.Store(nil)
+		return
+	}
+	t.onEvict.Store(&fn)
+}
 
 // Spec returns the table's specification.
 func (t *Table) Spec() Spec { return t.spec }
@@ -398,7 +411,7 @@ func (t *Table) insert(get AttrGetter) error {
 				}
 				r.live = true
 				r.mem = r.memSize()
-				r.orderKey.Store(t.orderKeyLocked(r, now))
+				r.storeOrderKey(t.orderKeyLocked(r, now))
 				r.mu.Unlock()
 			} else {
 				r = &row{key: key, groupVal: groupVals, heapIdx: -1, live: true}
@@ -407,8 +420,10 @@ func (t *Table) insert(get AttrGetter) error {
 				for i := range r.aggs {
 					r.aggs[i].init(&t.spec, &t.spec.Aggs[i])
 				}
+				//sqlcm:allow fresh row: not yet published to any shard map, this goroutine has exclusive access
 				r.mem = r.memSize()
-				r.orderKey.Store(t.orderKeyLocked(r, now))
+				//sqlcm:allow fresh row: exclusive access until published below (see above)
+				r.storeOrderKey(t.orderKeyLocked(r, now))
 			}
 			sh.groups[key] = r
 			if t.bounded {
@@ -447,7 +462,7 @@ func (t *Table) insert(get AttrGetter) error {
 	}
 	r.mem = r.memSize()
 	memDelta := r.mem - oldMem
-	r.orderKey.Store(t.orderKeyLocked(r, now))
+	r.storeOrderKey(t.orderKeyLocked(r, now))
 	r.mu.Unlock()
 
 	// Account the update's memory and — for bounded tables — reposition
@@ -481,8 +496,23 @@ func (t *Table) insert(get AttrGetter) error {
 	return nil
 }
 
+// storeOrderKey publishes an ordering-key snapshot for heap comparisons.
+func (r *row) storeOrderKey(k []sqltypes.Value) { r.orderKey.Store(&k) }
+
+// loadOrderKey returns the published ordering-key snapshot (nil before
+// the first store — only reachable for rows never registered in a heap).
+func (r *row) loadOrderKey() []sqltypes.Value {
+	if p := r.orderKey.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // orderKeyLocked snapshots the row's ordering-column values. Caller holds
-// the row latch (or has exclusive access to a fresh row).
+// the row latch (or has exclusive access to a fresh row — such call sites
+// carry //sqlcm:allow).
+//
+//sqlcm:lock-held lat.row
 func (t *Table) orderKeyLocked(r *row, now time.Time) []sqltypes.Value {
 	if len(t.spec.OrderBy) == 0 {
 		return []sqltypes.Value{}
@@ -520,7 +550,7 @@ func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
 	}
 	// Snapshots of evicted rows are only materialized when a callback is
 	// installed (i.e. some rule listens on LATRow.Evicted).
-	fn, _ := t.onEvict.Load().(func(EvictedRow))
+	fn := t.onEvict.Load()
 	var out []EvictedRow
 	for {
 		over := false
@@ -536,8 +566,10 @@ func (t *Table) enforceLimitsLocked(now time.Time) []EvictedRow {
 		victim := heap.Pop(&rowHeapRef{t: t}).(*row)
 		// victim.key is stable here: reuse-reinitialization can only happen
 		// after the row is returned to a free list below.
+		//sqlcm:allow victim.key is stable: rows are only reinitialized after returning to a free list, which happens below
 		vsh := t.shardFor(victim.key)
 		vsh.mu.Lock()
+		//sqlcm:allow victim.key is stable until the row is freed (see above)
 		delete(vsh.groups, victim.key)
 		victim.mu.Lock()
 		victim.live = false
@@ -568,12 +600,12 @@ func (t *Table) deliverEvictions(rows []EvictedRow) {
 	if len(rows) == 0 {
 		return
 	}
-	fn, _ := t.onEvict.Load().(func(EvictedRow))
+	fn := t.onEvict.Load()
 	if fn == nil {
 		return
 	}
 	for _, r := range rows {
-		fn(r)
+		(*fn)(r)
 	}
 }
 
@@ -751,14 +783,19 @@ func (t *Table) Load(rows [][]sqltypes.Value) error {
 type rowHeap []*row
 
 // rowHeapRef adapts the table to heap.Interface with access to the spec.
+// Every method runs under the ordering latch: container/heap operations
+// on the table are only issued while orderMu is held.
 type rowHeapRef struct{ t *Table }
 
+//sqlcm:lock-held lat.order
 func (h *rowHeapRef) Len() int { return len(h.t.order) }
 
+//sqlcm:lock-held lat.order
 func (h *rowHeapRef) Less(i, j int) bool {
 	return h.t.lessImportant(h.t.order[i], h.t.order[j])
 }
 
+//sqlcm:lock-held lat.order
 func (h *rowHeapRef) Swap(i, j int) {
 	o := h.t.order
 	o[i], o[j] = o[j], o[i]
@@ -766,12 +803,14 @@ func (h *rowHeapRef) Swap(i, j int) {
 	o[j].heapIdx = j
 }
 
+//sqlcm:lock-held lat.order
 func (h *rowHeapRef) Push(x interface{}) {
 	r := x.(*row)
 	r.heapIdx = len(h.t.order)
 	h.t.order = append(h.t.order, r)
 }
 
+//sqlcm:lock-held lat.order
 func (h *rowHeapRef) Pop() interface{} {
 	o := h.t.order
 	r := o[len(o)-1]
@@ -784,8 +823,8 @@ func (h *rowHeapRef) Pop() interface{} {
 // evicted before b. It compares the atomically published ordering-key
 // snapshots, so it is safe under the table latch alone.
 func (t *Table) lessImportant(a, b *row) bool {
-	ak, _ := a.orderKey.Load().([]sqltypes.Value)
-	bk, _ := b.orderKey.Load().([]sqltypes.Value)
+	ak := a.loadOrderKey()
+	bk := b.loadOrderKey()
 	for i, o := range t.spec.OrderBy {
 		var av, bv sqltypes.Value
 		if i < len(ak) {
@@ -806,8 +845,11 @@ func (t *Table) lessImportant(a, b *row) bool {
 	return false
 }
 
-// memSize approximates the row's footprint. Caller holds the row latch (or
-// has exclusive access).
+// memSize approximates the row's footprint. Caller holds the row latch
+// (or has exclusive access to a fresh row — such call sites carry
+// //sqlcm:allow).
+//
+//sqlcm:lock-held lat.row
 func (r *row) memSize() int64 {
 	var n int64 = 64
 	for _, v := range r.groupVal {

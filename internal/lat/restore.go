@@ -53,7 +53,7 @@ func (t *Table) Restore(rows [][]sqltypes.Value) error {
 			r.aggs[i].restoreFrom(&t.spec, &t.spec.Aggs[i], vals[ng+i], now)
 		}
 		r.mem = r.memSize()
-		r.orderKey.Store(t.orderKeyLocked(r, now))
+		r.storeOrderKey(t.orderKeyLocked(r, now))
 		memDelta := r.mem - oldMem
 		r.mu.Unlock()
 		sh.mu.Unlock()

@@ -116,8 +116,10 @@ type queue struct {
 
 // Manager is the lock manager.
 type Manager struct {
-	// mu protects the queues, held and waitsFor maps.
+	// mu protects the queues, held and waitsFor maps. timeout is immutable
+	// after construction and deliberately unguarded.
 	//sqlcm:lock lock.manager
+	//sqlcm:guards queues, held, waitsFor, notifier
 	mu       lockcheck.Mutex
 	queues   map[Resource]*queue
 	held     map[TxnID]map[Resource]Mode // reverse map for release

@@ -20,6 +20,20 @@ type Class struct {
 	Decl token.Position
 	// Fields lists "pkg.Type.field" names annotated with this class.
 	Fields []string
+	// Guards lists "pkg.Type.field" names declared protected by this
+	// class: the union of the mutex fields' //sqlcm:guards lists and
+	// every //sqlcm:guarded-by / //sqlcm:cow field naming the class.
+	Guards []string
+}
+
+// addGuard records a guarded field once.
+func (c *Class) addGuard(field string) {
+	for _, g := range c.Guards {
+		if g == field {
+			return
+		}
+	}
+	c.Guards = append(c.Guards, field)
 }
 
 // Hierarchy is the declared lock-order DAG plus the field→class map used
@@ -189,6 +203,7 @@ func collectAnnotations(fset *token.FileSet, files []*ast.File, h *Hierarchy, re
 				}
 				for _, field := range st.Fields.List {
 					collectField(fset, pkg, ts.Name.Name, field, h, report)
+					collectGuarded(pkg, ts.Name.Name, field, h)
 				}
 			}
 		}
@@ -224,6 +239,10 @@ func collectField(fset *token.FileSet, pkg, typeName string, field *ast.Field, h
 	if c == nil {
 		c = &Class{Name: class, After: map[string]bool{}, Decl: pos}
 		h.Classes[class] = c
+	} else if c.Decl == (token.Position{}) {
+		// The class was first seen through a //sqlcm:guarded-by reference;
+		// the mutex field is the canonical declaration site.
+		c.Decl = pos
 	}
 	for _, a := range after {
 		c.After[a] = true
@@ -238,6 +257,59 @@ func collectField(fset *token.FileSet, pkg, typeName string, field *ast.Field, h
 		}
 		set[class] = true
 	}
+	if args, ok := fieldDirectiveArg(field, "guards"); ok {
+		for _, g := range strings.Split(args, ",") {
+			g = strings.TrimSpace(g)
+			if g == "" || g == "none" {
+				continue
+			}
+			c.addGuard(fmt.Sprintf("%s.%s.%s", pkg, typeName, g))
+		}
+	}
+}
+
+// collectGuarded registers //sqlcm:guarded-by and //sqlcm:cow fields with
+// the lock class they name, so the generated lock-order document can list
+// what each class protects. Semantic validation (unknown classes,
+// conflicting claims) is the type-checked analysis suite's job; the doc
+// renders what is declared.
+func collectGuarded(pkg, typeName string, field *ast.Field, h *Hierarchy) {
+	for _, dir := range []string{"guarded-by", "cow"} {
+		arg, ok := fieldDirectiveArg(field, dir)
+		if !ok || arg == "" {
+			continue
+		}
+		class := strings.Fields(arg)[0]
+		c := h.Classes[class]
+		if c == nil {
+			c = &Class{Name: class, After: map[string]bool{}}
+			h.Classes[class] = c
+		}
+		for _, name := range field.Names {
+			c.addGuard(fmt.Sprintf("%s.%s.%s", pkg, typeName, name.Name))
+		}
+	}
+}
+
+// fieldDirectiveArg extracts the argument of a //sqlcm:<name> directive
+// from a field's doc or line comment.
+func fieldDirectiveArg(field *ast.Field, name string) (string, bool) {
+	prefix := "//sqlcm:" + name
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(c.Text)
+			if text == prefix {
+				return "", true
+			}
+			if strings.HasPrefix(text, prefix+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(text, prefix+" ")), true
+			}
+		}
+	}
+	return "", false
 }
 
 // lockDirective parses the //sqlcm:lock line from a field's doc or line

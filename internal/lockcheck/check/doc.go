@@ -15,7 +15,8 @@ import (
 func BuildDoc(h *Hierarchy, root string) string {
 	var b strings.Builder
 	b.WriteString("# Lock order\n\n")
-	b.WriteString("Generated from `//sqlcm:lock` annotations by `sqlcm-vet -lockdoc -write`.\n")
+	b.WriteString("Generated from `//sqlcm:lock`, `//sqlcm:guards`, `//sqlcm:guarded-by`\n")
+	b.WriteString("and `//sqlcm:cow` annotations by `sqlcm-vet -lockdoc -write`.\n")
 	b.WriteString("Do not edit by hand: `make lockdep` (and CI) fail when this file is\n")
 	b.WriteString("stale relative to the annotations.\n\n")
 	b.WriteString("A class may be acquired while holding only the classes it is declared\n")
@@ -23,6 +24,10 @@ func BuildDoc(h *Hierarchy, root string) string {
 	b.WriteString("must be the outermost (or only) lock a goroutine holds. The static\n")
 	b.WriteString("checker (`sqlcm-vet -code`) enforces this order at build time; the\n")
 	b.WriteString("`sqlcmlockdep` build tag enforces it again at runtime.\n\n")
+	b.WriteString("Guarded fields are the struct fields each class protects, declared\n")
+	b.WriteString("with `//sqlcm:guards` on the mutex (or `//sqlcm:guarded-by` /\n")
+	b.WriteString("`//sqlcm:cow` on the field) and enforced by the data-protection\n")
+	b.WriteString("analyzers in `sqlcm-vet -code`.\n\n")
 
 	names := make([]string, 0, len(h.Classes))
 	for n := range h.Classes {
@@ -31,18 +36,24 @@ func BuildDoc(h *Hierarchy, root string) string {
 	sort.Strings(names)
 
 	b.WriteString("## Classes\n\n")
-	b.WriteString("| Class | May be acquired while holding | Declared on |\n")
-	b.WriteString("|---|---|---|\n")
+	b.WriteString("| Class | May be acquired while holding | Guarded fields | Declared on |\n")
+	b.WriteString("|---|---|---|---|\n")
 	for _, n := range names {
 		c := h.Classes[n]
 		after := "— (root)"
 		if len(c.After) > 0 {
 			after = strings.Join(sortedKeys(c.After), ", ")
 		}
+		guards := "—"
+		if len(c.Guards) > 0 {
+			gs := append([]string(nil), c.Guards...)
+			sort.Strings(gs)
+			guards = fmt.Sprintf("`%s`", strings.Join(gs, "`, `"))
+		}
 		fields := append([]string(nil), c.Fields...)
 		sort.Strings(fields)
 		decl := fmt.Sprintf("`%s` (%s)", strings.Join(fields, "`, `"), relPath(c.Decl, root))
-		b.WriteString(fmt.Sprintf("| %s | %s | %s |\n", n, after, decl))
+		b.WriteString(fmt.Sprintf("| %s | %s | %s | %s |\n", n, after, guards, decl))
 	}
 
 	b.WriteString("\n## Declared edges\n\n")

@@ -177,6 +177,7 @@ type SigCache struct {
 type sigShard struct {
 	// mu protects the stripe's plan-signature map.
 	//sqlcm:lock monitor.sig
+	//sqlcm:guards m
 	mu lockcheck.Mutex
 	m  map[interface{}]*Sigs
 	_  [40]byte // pad shards onto distinct cache lines
@@ -443,6 +444,7 @@ type TxnTracker struct {
 type txnShard struct {
 	// mu protects the stripe's per-transaction accumulators.
 	//sqlcm:lock monitor.txn
+	//sqlcm:guards m
 	mu lockcheck.Mutex
 	m  map[int64]*txnAccum // by txn id
 	_  [40]byte            // pad shards onto distinct cache lines

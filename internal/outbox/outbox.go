@@ -202,12 +202,14 @@ type Outbox struct {
 
 	// dlMu protects the dead-letter ring.
 	//sqlcm:lock outbox.deadletter
+	//sqlcm:guards dl, dlAt
 	dlMu lockcheck.Mutex
 	dl   []DeadLetter
 	dlAt int
 
 	// rngMu protects rng, which feeds backoff jitter.
 	//sqlcm:lock outbox.rng
+	//sqlcm:guards rng
 	rngMu lockcheck.Mutex
 	rng   *rand.Rand
 }

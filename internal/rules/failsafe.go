@@ -43,7 +43,11 @@ func (e *Engine) quarantineThreshold() int64 {
 // rule, outside the engine's registration lock, so it may safely dispatch
 // events or register rules.
 func (e *Engine) SetOnQuarantine(fn func(QuarantineInfo)) {
-	e.onQuarantine.Store(fn)
+	if fn == nil {
+		e.onQuarantine.Store(nil)
+		return
+	}
+	e.onQuarantine.Store(&fn)
 }
 
 // Quarantined reports whether the named rule is currently quarantined.
@@ -130,8 +134,8 @@ func (e *Engine) quarantine(r *Rule, fails int64, cause error) {
 	e.idx.Store(buildIndex(e.idx.Load().rules))
 	e.writeMu.Unlock()
 	e.quarantines.Add(1)
-	if fn, _ := e.onQuarantine.Load().(func(QuarantineInfo)); fn != nil {
-		fn(QuarantineInfo{Rule: r.Name, Failures: fails, Err: cause.Error(), At: time.Now()})
+	if fn := e.onQuarantine.Load(); fn != nil {
+		(*fn)(QuarantineInfo{Rule: r.Name, Failures: fails, Err: cause.Error(), At: time.Now()})
 	}
 }
 
@@ -140,8 +144,8 @@ func (e *Engine) quarantine(r *Rule, fails int64, cause error) {
 type failsafeState struct {
 	// quarantineAfter is the configured threshold (0 = default, <0 = off).
 	quarantineAfter atomic.Int64
-	// onQuarantine holds a func(QuarantineInfo).
-	onQuarantine atomic.Value
+	// onQuarantine is the installed quarantine callback, if any.
+	onQuarantine atomic.Pointer[func(QuarantineInfo)]
 
 	panics      atomic.Int64
 	quarantines atomic.Int64

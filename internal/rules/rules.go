@@ -159,11 +159,16 @@ func buildIndex(rules []*Rule) *ruleIndex {
 type Engine struct {
 	env Env
 
-	// writeMu serializes AddRule/RemoveRule/quarantine; idx is the
-	// published index.
+	// writeMu serializes AddRule/RemoveRule/quarantine; its only protected
+	// state is the COW index below, published by Store, so it guards no
+	// plain fields.
 	//sqlcm:lock rules.write
+	//sqlcm:guards none
 	writeMu lockcheck.Mutex
-	idx     atomic.Pointer[ruleIndex]
+	// idx is the published rule index: readers Load lock-free, writers
+	// rebuild under writeMu and swap.
+	//sqlcm:cow rules.write
+	idx atomic.Pointer[ruleIndex]
 
 	evaluations atomic.Int64
 	fired       atomic.Int64
@@ -172,7 +177,7 @@ type Engine struct {
 	// observer, when installed, sees every rule evaluation in dispatch
 	// order (the simulation harness compares this stream against its
 	// sequential oracle). One atomic load on the hot path when unset.
-	observer atomic.Value // func(rule string, fired bool)
+	observer atomic.Pointer[func(rule string, fired bool)]
 
 	failsafeState
 }
@@ -182,7 +187,11 @@ type Engine struct {
 // Invocations follow dispatch order; the callback runs synchronously on
 // the dispatching goroutine, so it must be cheap and must not dispatch.
 func (e *Engine) SetEvalObserver(fn func(rule string, fired bool)) {
-	e.observer.Store(fn)
+	if fn == nil {
+		e.observer.Store(nil)
+		return
+	}
+	e.observer.Store(&fn)
 }
 
 // NewEngine creates a rule engine over env.
@@ -396,8 +405,8 @@ func (e *Engine) evalRule(r *Rule, ctx *Ctx) {
 //
 //sqlcm:hotpath
 func (e *Engine) observe(rule string, fired bool) {
-	if fn, _ := e.observer.Load().(func(string, bool)); fn != nil {
-		fn(rule, fired)
+	if fn := e.observer.Load(); fn != nil {
+		(*fn)(rule, fired)
 	}
 }
 

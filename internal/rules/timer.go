@@ -33,6 +33,7 @@ type TimerManager struct {
 
 	// mu protects the timer map and closed flag.
 	//sqlcm:lock rules.timer
+	//sqlcm:guards timers, closed
 	mu     lockcheck.Mutex
 	timers map[string]*timerState
 	closed bool
@@ -43,11 +44,14 @@ type TimerManager struct {
 }
 
 type timerState struct {
-	name   string
-	period time.Duration
-	count  int
-	seq    int64
-	timer  clock.Timer // the currently armed AfterFunc registration
+	name   string        // immutable after creation
+	period time.Duration // immutable after creation
+	count  int           // immutable after creation
+	//sqlcm:guarded-by rules.timer
+	seq int64
+	// timer is the currently armed AfterFunc registration.
+	//sqlcm:guarded-by rules.timer
+	timer clock.Timer
 }
 
 // NewTimerManager creates a manager dispatching into d on the wall clock.

@@ -98,6 +98,7 @@ type Server struct {
 
 	// mu protects the live-connection set.
 	//sqlcm:lock server.conns
+	//sqlcm:guards conns
 	mu    lockcheck.Mutex
 	conns map[*conn]struct{}
 

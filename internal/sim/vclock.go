@@ -24,6 +24,7 @@ import (
 type Clock struct {
 	// mu protects the virtual time and the pending-timer heap.
 	//sqlcm:lock sim.clock after rules.timer
+	//sqlcm:guards now, seq, pend
 	mu   lockcheck.Mutex
 	now  time.Time
 	seq  int64

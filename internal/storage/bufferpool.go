@@ -13,13 +13,22 @@ import (
 type Page struct {
 	ID   PageID
 	Data [PageSize]byte
-	// Latch guards Data for concurrent readers and writers.
+	// Latch guards Data for concurrent readers and writers. Data is not
+	// declared //sqlcm:guarded-by because the pin discipline also protects
+	// it: eviction and flush write an unpinned page's contents under the
+	// pool lock alone, with no reader able to hold a reference.
 	//sqlcm:lock storage.page after storage.pool
+	//sqlcm:guards none
 	Latch lockcheck.RWMutex
 
-	pins  int32
+	// The bookkeeping fields belong to the pool, not the page latch.
+	//sqlcm:guarded-by storage.pool
+	pins int32
+	//sqlcm:guarded-by storage.pool
 	dirty bool
-	elem  *list.Element // position in the pool's LRU list (nil when pinned)
+	// elem is the position in the pool's LRU list (nil when pinned).
+	//sqlcm:guarded-by storage.pool
+	elem *list.Element
 }
 
 // PoolStats aggregates buffer-pool counters. Reads are physical disk reads
@@ -35,8 +44,10 @@ type PoolStats struct {
 type BufferPool struct {
 	disk DiskManager
 
-	// mu protects the frame map, LRU list and counters.
+	// mu protects the frame map, LRU list and counters. capacity is
+	// immutable after construction.
 	//sqlcm:lock storage.pool after storage.heap
+	//sqlcm:guards reserved, frames, lru, hits, misses, writes, evictions
 	mu       lockcheck.Mutex
 	capacity int   // max resident pages
 	reserved int64 // bytes of capacity stolen by ReserveBytes
@@ -80,6 +91,7 @@ func (bp *BufferPool) ReserveBytes(n int64) {
 	bp.mu.Unlock()
 }
 
+//sqlcm:lock-held storage.pool
 func (bp *BufferPool) effectiveCapacity() int {
 	pages := int((bp.reserved + PageSize - 1) / PageSize)
 	c := bp.capacity - pages
@@ -149,6 +161,8 @@ func (bp *BufferPool) FetchPage(id PageID) (*Page, error) {
 
 // makeRoomLocked evicts the least-recently-used unpinned page if the pool
 // is at capacity. Caller holds bp.mu.
+//
+//sqlcm:lock-held storage.pool
 func (bp *BufferPool) makeRoomLocked() error {
 	for len(bp.frames) >= bp.effectiveCapacity() {
 		front := bp.lru.Front()

@@ -37,6 +37,7 @@ type DiskManager interface {
 type MemDisk struct {
 	// mu protects the page slice.
 	//sqlcm:lock storage.disk after storage.page
+	//sqlcm:guards pages
 	mu    lockcheck.RWMutex
 	pages [][]byte
 }
@@ -91,8 +92,10 @@ func (d *MemDisk) Close() error { return nil }
 // FileDisk is a DiskManager backed by a single OS file. Page i lives at
 // byte offset i*PageSize.
 type FileDisk struct {
-	// mu protects the allocation cursor.
+	// mu protects the allocation cursor. f is immutable after open;
+	// os.File handles concurrent ReadAt/WriteAt internally.
 	//sqlcm:lock storage.disk after storage.page
+	//sqlcm:guards next
 	mu   lockcheck.Mutex
 	f    *os.File
 	next PageID

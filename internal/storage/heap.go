@@ -15,6 +15,7 @@ type HeapFile struct {
 
 	// mu protects the page chain and serializes file growth.
 	//sqlcm:lock storage.heap
+	//sqlcm:guards pages, first, last
 	mu    lockcheck.Mutex
 	pages []PageID // all pages of the file, in chain order
 	first PageID

@@ -48,8 +48,10 @@ type Txn struct {
 	ID    lock.TxnID
 	Start time.Time
 
-	// mu protects state and the undo log.
+	// mu protects state and the undo log. cancelled is atomic; implicit
+	// is immutable after Begin.
 	//sqlcm:lock txn.txn
+	//sqlcm:guards state, undo
 	mu        lockcheck.Mutex
 	state     State
 	undo      []func() error
@@ -100,6 +102,7 @@ type Manager struct {
 
 	// mu protects the active-transaction map.
 	//sqlcm:lock txn.active
+	//sqlcm:guards active
 	mu     lockcheck.Mutex
 	active map[lock.TxnID]*Txn
 }
