@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet vet-bench lint test race chaos netchaos lockdep lockdoc fuzz bench bench-json serve-smoke sim sim-long cover ci
+.PHONY: build vet vet-bench lint test race chaos netchaos lockdep lockdoc fuzz bench bench-json serve-smoke mvcc-smoke sim sim-long sim-mvcc cover ci
 
 build:
 	$(GO) build ./...
@@ -82,6 +82,14 @@ sim:
 sim-long:
 	SQLCM_SIM_SEEDS=256 SQLCM_SIM_EVENTS=1200 $(GO) test -count=1 -timeout 30m ./internal/sim/
 
+# MVCC tier: the differential visibility oracle (real version store vs a
+# naive full-history recompute) over a 64-seed sweep, the golden traces
+# replayed on the MVCC build with fingerprints pinned unchanged, and the
+# single-session lock-schedule invariance check (identical results, rule
+# journal and LAT contents with MVCC on vs off).
+sim-mvcc:
+	SQLCM_SIM_SEEDS=64 $(GO) test -count=1 -run 'TestMVCCVisibilitySweep|TestGoldenReplayMVCC|TestSingleSessionMVCCInvariance' ./internal/sim/
+
 # Coverage floors for the packages the differential oracle leans on.
 cover:
 	./scripts/coverfloor.sh
@@ -97,16 +105,23 @@ bench:
 
 # Committed benchmark snapshot: monitoring hot paths (event dispatch,
 # LAT observe), wire-level load percentiles at a fixed connection count
-# with monitoring on vs off, and the same load clean vs under 5ms network
-# jitter. Full run; see BENCH_9.json.
+# with monitoring on vs off, the same load clean vs under 5ms network
+# jitter, and read-mostly readers vs one hot writer with MVCC snapshot
+# reads against the 2PL baseline. Full run; see BENCH_10.json.
 bench-json:
-	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_9.json
+	$(GO) run ./cmd/sqlcm-benchjson -out BENCH_10.json
 
 # Loopback smoke tier: a short open-loop load run (internal/loadgen)
 # against an in-process network front-end under -race — nonzero
 # throughput, zero statement errors, clean graceful drain.
 serve-smoke:
 	$(GO) test -race -count=1 -run TestServeSmoke ./internal/loadgen/
+
+# MVCC smoke tier: read-mostly Zipf load with monitoring on — a reader
+# fleet plus one hot writer — under -race; snapshot readers must never
+# surface as Query.Blocked events.
+mvcc-smoke:
+	$(GO) test -race -count=1 -run TestMVCCSmoke ./internal/loadgen/
 
 ci:
 	./scripts/ci.sh

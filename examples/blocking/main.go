@@ -48,7 +48,8 @@ func main() {
 	}
 
 	// Simulate an application with a long write transaction (the hotspot)
-	// and several readers that pile up behind it.
+	// and several checkout writers that pile up behind it. (Reads are MVCC
+	// snapshot reads and never block — only writers contend for locks.)
 	writer := db.Session("batch", "nightly-job")
 	mustExec(writer, "BEGIN")
 	mustExec(writer, "UPDATE inventory SET stock = stock - 1 WHERE sku = 42")
@@ -58,13 +59,14 @@ func main() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reader := db.Session(fmt.Sprintf("web-%d", i), "storefront")
-			if _, err := reader.Exec("SELECT COUNT(*) FROM inventory", nil); err != nil {
-				log.Printf("reader %d: %v", i, err)
+			checkout := db.Session(fmt.Sprintf("web-%d", i), "storefront")
+			sql := fmt.Sprintf("UPDATE inventory SET stock = stock - 1 WHERE sku = %d", i+1)
+			if _, err := checkout.Exec(sql, nil); err != nil {
+				log.Printf("checkout %d: %v", i, err)
 			}
 		}(i)
 	}
-	time.Sleep(300 * time.Millisecond) // the readers wait on the writer's lock
+	time.Sleep(300 * time.Millisecond) // the checkouts wait on the writer's lock
 	mustExec(writer, "COMMIT")
 	wg.Wait()
 

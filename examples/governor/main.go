@@ -39,13 +39,15 @@ func main() {
 	}
 
 	// The "runaway": a statement stuck behind a long transaction's lock.
+	// (Reads are MVCC snapshot reads and never wait, so the runaway is a
+	// second writer parked on the first writer's exclusive lock.)
 	blocker := db.Session("batch", "bulk-update")
 	mustExec(blocker, "BEGIN")
 	mustExec(blocker, "UPDATE jobs SET state = 'running' WHERE id = 1")
 
 	victim := db.Session("analyst", "dashboard")
 	start := time.Now()
-	_, err = victim.Exec("SELECT COUNT(*) FROM jobs", nil)
+	_, err = victim.Exec("UPDATE jobs SET state = 'retried' WHERE id = 2", nil)
 	elapsed := time.Since(start)
 	mustExec(blocker, "COMMIT")
 

@@ -93,7 +93,8 @@ func TestPullerObservesLongRunningOnly(t *testing.T) {
 	p.Start()
 
 	// A short query between polls is likely missed; a blocked (long)
-	// query is observed. Hold a lock to park a reader.
+	// query is observed. MVCC reads never block, so the parked statement
+	// is a second writer waiting on the first writer's X lock.
 	w := eng.NewSession("writer", "a")
 	if _, err := w.Exec("BEGIN", nil); err != nil {
 		t.Fatal(err)
@@ -101,10 +102,10 @@ func TestPullerObservesLongRunningOnly(t *testing.T) {
 	if _, err := w.Exec("UPDATE data SET v = 0 WHERE id = 1", nil); err != nil {
 		t.Fatal(err)
 	}
-	reader := eng.NewSession("reader", "a")
+	waiter := eng.NewSession("waiter", "a")
 	done := make(chan struct{})
 	go func() {
-		reader.Exec("SELECT COUNT(*) FROM data", nil) //nolint:errcheck
+		waiter.Exec("UPDATE data SET v = 2 WHERE id = 2", nil) //nolint:errcheck
 		close(done)
 	}()
 	time.Sleep(60 * time.Millisecond)
@@ -119,7 +120,7 @@ func TestPullerObservesLongRunningOnly(t *testing.T) {
 	top := p.TopK(10)
 	found := false
 	for _, e := range top {
-		if e.Text == "SELECT COUNT(*) FROM data" && e.Duration > 30*time.Millisecond {
+		if e.Text == "UPDATE data SET v = 2 WHERE id = 2" && e.Duration > 30*time.Millisecond {
 			found = true
 		}
 	}

@@ -166,10 +166,11 @@ func TestExample2BlockingDelays(t *testing.T) {
 	mustExec(t, sess, "BEGIN")
 	mustExec(t, sess, "UPDATE items SET val = 0 WHERE id = 1")
 
-	reader := eng.NewSession("reader", "app")
+	// MVCC reads never block, so the blocked statement is a second writer.
+	waiter := eng.NewSession("waiter", "app")
 	done := make(chan error, 1)
 	go func() {
-		_, err := reader.Exec("SELECT COUNT(*) FROM items", nil)
+		_, err := waiter.Exec("UPDATE items SET val = 2 WHERE id = 1", nil)
 		done <- err
 	}()
 	time.Sleep(120 * time.Millisecond)
@@ -320,12 +321,13 @@ func TestExample5ResourceGoverning(t *testing.T) {
 	defer s.Timers().Set("watchdog", 0, 0) //nolint:errcheck
 
 	// The "runaway" query: blocked behind an exclusive lock, so its
-	// duration grows until the watchdog cancels it.
+	// duration grows until the watchdog cancels it. (A write, since MVCC
+	// reads never block.)
 	mustExec(t, sess, "BEGIN")
 	mustExec(t, sess, "UPDATE items SET val = 1 WHERE id = 1")
 	victim := eng.NewSession("victim", "app")
 	start := time.Now()
-	_, err := victim.Exec("SELECT COUNT(*) FROM items", nil)
+	_, err := victim.Exec("UPDATE items SET val = 9 WHERE id = 1", nil)
 	elapsed := time.Since(start)
 	mustExec(t, sess, "COMMIT")
 	if err == nil {

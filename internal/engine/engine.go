@@ -35,6 +35,15 @@ type Config struct {
 	// LockTimeout bounds lock waits; zero waits forever (deadlock detection
 	// still applies). Default 10s.
 	LockTimeout time.Duration
+	// DisableMVCC turns off multi-version storage: tables are created
+	// without version stores and SELECTs take shared locks (the pre-MVCC
+	// strict-2PL read path). Used by A/B invariance tests and the 2PL
+	// baseline in benchmarks.
+	DisableMVCC bool
+	// VersionGCEvery is the writer-commit interval between version-garbage
+	// collection passes (default 256). Negative disables automatic pruning
+	// (tests drive PruneVersionsNow directly).
+	VersionGCEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockTimeout == 0 {
 		c.LockTimeout = 10 * time.Second
+	}
+	if c.VersionGCEvery == 0 {
+		c.VersionGCEvery = 256
 	}
 	return c
 }
@@ -81,6 +93,15 @@ type Engine struct {
 	querySeq   atomic.Int64
 	sessionSeq atomic.Int64
 	closed     atomic.Bool
+
+	// mvccStats aggregates version-store counters across all tables (the
+	// Versions_Pruned / Versions_Retained probes).
+	mvccStats storage.VersionStats
+	// gcTick counts writer commits; every VersionGCEvery-th triggers a
+	// version-garbage pass. gcBusy collapses concurrent triggers into one
+	// running pass.
+	gcTick atomic.Int64
+	gcBusy atomic.Bool
 
 	// planGen counts plan-cache invalidations (DDL). Prepared statements
 	// snapshot it and re-plan when it moves, so a handle never executes a
@@ -131,13 +152,70 @@ func Open(cfg Config) (*Engine, error) {
 	e.planMu.SetClass("engine.plan")
 	e.queryMu.SetClass("engine.query")
 	locks.SetNotifier(&lockBridge{e: e})
+	if !cfg.DisableMVCC && cfg.VersionGCEvery > 0 {
+		e.tm.SetPostCommit(e.onWriterCommit)
+	}
 	return e, nil
 }
 
-// Close shuts the engine down.
+// onWriterCommit is the transaction manager's post-commit observer: every
+// VersionGCEvery-th writer commit triggers a version-garbage pass. It runs
+// on the committing goroutine after that transaction's locks released, so
+// the prune transactions it opens cannot deadlock with the trigger.
+func (e *Engine) onWriterCommit(int64) {
+	if e.gcTick.Add(1)%int64(e.cfg.VersionGCEvery) == 0 {
+		e.PruneVersionsNow()
+	}
+}
+
+// PruneVersionsNow runs one version-garbage-collection pass over every
+// multi-versioned table at the current watermark (oldest active snapshot).
+// Each table is pruned under its exclusive lock inside a short internal
+// transaction, so pruning serializes against writers exactly like a
+// statement; the internal transactions carry no QueryInfo and are therefore
+// invisible to the monitor. Concurrent calls collapse into the one running
+// pass. Prune transactions stamp no versions, so they never re-trigger the
+// post-commit observer.
+func (e *Engine) PruneVersionsNow() {
+	if !e.gcBusy.CompareAndSwap(false, true) {
+		return
+	}
+	defer e.gcBusy.Store(false)
+	for _, name := range e.reg.Names() {
+		ts, err := e.reg.Store(name)
+		if err != nil || ts.Vers == nil {
+			continue
+		}
+		t := e.tm.Begin(true)
+		if err := e.locks.Acquire(t.ID, lock.TableResource(name), lock.Exclusive); err != nil {
+			e.tm.Rollback(t) //nolint:errcheck
+			continue // contended or cancelled: the next pass retries
+		}
+		// Watermark is read after the X lock is held: no writer on this
+		// table is in its commit window, and any snapshot taken later
+		// observes at least the newest committed timestamp.
+		ts.PruneVersions(e.tm.Watermark())
+		e.tm.Commit(t) //nolint:errcheck
+	}
+}
+
+// MVCCStats exposes the cross-table version-store counters (monitoring
+// probes and tests).
+func (e *Engine) MVCCStats() *storage.VersionStats { return &e.mvccStats }
+
+// MVCCEnabled reports whether tables are multi-versioned.
+func (e *Engine) MVCCEnabled() bool { return !e.cfg.DisableMVCC }
+
+// Close shuts the engine down. Multi-versioned tables are fully pruned
+// first (at shutdown the watermark is the newest commit, so every
+// superseded version and deleted row is reclaimed) so the flushed heaps
+// hold exactly the live row images.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
+	}
+	if !e.cfg.DisableMVCC {
+		e.PruneVersionsNow()
 	}
 	if err := e.pool.FlushAll(); err != nil {
 		return err
@@ -421,6 +499,9 @@ func (e *Engine) CreateTable(name string, cols []catalog.Column) error {
 	if err != nil {
 		return err
 	}
+	if !e.cfg.DisableMVCC {
+		ts.Vers = storage.NewVersionStore(&e.mvccStats)
+	}
 	e.reg.Register(name, ts)
 	e.invalidatePlans()
 	return nil
@@ -477,6 +558,9 @@ func (e *Engine) TruncateTableDirect(table string) error {
 	for name, ix := range ts.Indexes {
 		ts.Indexes[name] = index.New(ix.Unique())
 	}
+	if ts.Vers != nil {
+		ts.Vers.Reset()
+	}
 	e.cat.AddRows(table, -1<<40) // clamps at zero
 	return e.tm.Commit(t)
 }
@@ -501,24 +585,39 @@ func (e *Engine) DeleteRowsDirect(table string, pred func(row []sqltypes.Value) 
 		row []sqltypes.Value
 	}
 	var victims []victim
-	var decodeErr error
-	err = ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := exec.DecodeRow(rec, ncols)
+	if ts.Vers != nil {
+		// Versioned table: the chains are authoritative (the heap still
+		// holds deleted-but-unpruned row images).
+		for _, cr := range ts.Vers.CurrentScan() {
+			row, err := exec.DecodeRow(cr.Rec, ncols)
+			if err != nil {
+				e.tm.Rollback(t) //nolint:errcheck
+				return 0, err
+			}
+			if pred(row) {
+				victims = append(victims, victim{rid: cr.Rid, row: row})
+			}
+		}
+	} else {
+		var decodeErr error
+		err = ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+			row, err := exec.DecodeRow(rec, ncols)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			if pred(row) {
+				victims = append(victims, victim{rid: rid, row: row})
+			}
+			return true
+		})
+		if err == nil {
+			err = decodeErr
+		}
 		if err != nil {
-			decodeErr = err
-			return false
+			e.tm.Rollback(t) //nolint:errcheck
+			return 0, err
 		}
-		if pred(row) {
-			victims = append(victims, victim{rid: rid, row: row})
-		}
-		return true
-	})
-	if err == nil {
-		err = decodeErr
-	}
-	if err != nil {
-		e.tm.Rollback(t) //nolint:errcheck
-		return 0, err
 	}
 	for _, v := range victims {
 		if err := exec.DeleteRow(ctx, ts, v.rid, v.row, e.cat); err != nil {
@@ -541,6 +640,16 @@ func (e *Engine) ReadTableDirect(table string) ([][]sqltypes.Value, error) {
 	}
 	ncols := len(ts.Meta.Columns)
 	var out [][]sqltypes.Value
+	if ts.Vers != nil {
+		for _, cr := range ts.Vers.CurrentScan() {
+			row, err := exec.DecodeRow(cr.Rec, ncols)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, row)
+		}
+		return out, nil
+	}
 	var decodeErr error
 	err = ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
 		row, err := exec.DecodeRow(rec, ncols)

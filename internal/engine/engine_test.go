@@ -273,10 +273,11 @@ func TestBlockingEventsAcrossSessions(t *testing.T) {
 	mustExec(t, s1, "BEGIN")
 	mustExec(t, s1, "UPDATE accounts SET balance = 0 WHERE id = 1")
 
-	s2 := e.NewSession("reader", "app")
+	// MVCC reads never block, so blocking is exercised writer-vs-writer.
+	s2 := e.NewSession("waiter", "app")
 	done := make(chan error, 1)
 	go func() {
-		_, err := s2.Exec("SELECT COUNT(*) FROM accounts", nil)
+		_, err := s2.Exec("UPDATE accounts SET balance = 1 WHERE id = 2", nil)
 		done <- err
 	}()
 	time.Sleep(100 * time.Millisecond)
@@ -311,7 +312,7 @@ func TestCancelQueryMidExecution(t *testing.T) {
 	s2 := e.NewSession("victim", "app")
 	done := make(chan error, 1)
 	go func() {
-		_, err := s2.Exec("SELECT COUNT(*) FROM accounts", nil)
+		_, err := s2.Exec("UPDATE accounts SET balance = 1 WHERE id = 2", nil)
 		done <- err
 	}()
 	time.Sleep(100 * time.Millisecond)
@@ -346,15 +347,15 @@ func TestActiveQueriesSnapshotDuringExecution(t *testing.T) {
 	mustExec(t, s1, "BEGIN")
 	mustExec(t, s1, "UPDATE accounts SET balance = 0 WHERE id = 1")
 
-	s2 := e.NewSession("reader", "rpt")
+	s2 := e.NewSession("waiter", "rpt")
 	//sqlcm:owned-by the writer's rollback below releases the lock and ends the query
-	go s2.Exec("SELECT COUNT(*) FROM accounts", nil) //nolint:errcheck
+	go s2.Exec("UPDATE accounts SET balance = 1 WHERE id = 2", nil) //nolint:errcheck
 	time.Sleep(100 * time.Millisecond)
 	snaps := e.ActiveQueries()
 	if len(snaps) != 1 {
 		t.Fatalf("active: %d", len(snaps))
 	}
-	if snaps[0].User != "reader" || snaps[0].Elapsed <= 0 {
+	if snaps[0].User != "waiter" || snaps[0].Elapsed <= 0 {
 		t.Fatalf("snapshot: %+v", snaps[0])
 	}
 	mustExec(t, s1, "COMMIT")

@@ -6,6 +6,7 @@ import (
 
 	"sqlcm/internal/lock"
 	"sqlcm/internal/plan"
+	"sqlcm/internal/storage"
 	"sqlcm/internal/txn"
 )
 
@@ -50,10 +51,25 @@ type QueryInfo struct {
 	TxnID lock.TxnID
 	Txn   *txn.Txn
 
+	// MVCC snapshot context (zero values when the engine runs without
+	// MVCC): SnapshotTS is the commit-timestamp horizon the statement's
+	// transaction reads at, SnapshotAt when that snapshot was taken (the
+	// Snapshot_Age probe measures against it), and MVCC points at the
+	// engine-wide version-store counters (Versions_Pruned /
+	// Versions_Retained probes). All set before registerQuery publishes
+	// the record.
+	SnapshotTS int64
+	SnapshotAt time.Time
+	MVCC       *storage.VersionStats
+
 	// Live counters, updated by the lock-manager hooks.
 	timeBlockedNanos atomic.Int64
 	timesBlocked     atomic.Int64
 	queriesBlocked   atomic.Int64
+	// maxChain is the longest version chain any read of this statement
+	// walked (the Version_Chain_Length probe); written once after the
+	// executor returns, read by rule evaluation.
+	maxChain atomic.Int64
 
 	// Optimization timing, input to the signature-overhead experiment.
 	OptimizeTime time.Duration
@@ -103,6 +119,13 @@ func (q *QueryInfo) AddBlocked(d time.Duration) {
 
 // AddQueryBlocked increments the blocker-side counter.
 func (q *QueryInfo) AddQueryBlocked() { q.queriesBlocked.Add(1) }
+
+// NoteMaxChain records the longest version chain the statement walked.
+func (q *QueryInfo) NoteMaxChain(n int) { q.maxChain.Store(int64(n)) }
+
+// MaxChain returns the longest version chain the statement walked (the
+// Version_Chain_Length probe; 0 on non-MVCC reads and writes).
+func (q *QueryInfo) MaxChain() int64 { return q.maxChain.Load() }
 
 // TxnInfo is the engine-side record of one transaction, the raw material
 // for the Transaction monitored class.

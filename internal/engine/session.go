@@ -13,6 +13,7 @@ import (
 	"sqlcm/internal/plan"
 	"sqlcm/internal/sqlparser"
 	"sqlcm/internal/sqltypes"
+	"sqlcm/internal/storage"
 	"sqlcm/internal/txn"
 )
 
@@ -382,6 +383,14 @@ func (s *Session) runQuery(ctx context.Context, cp *cachedPlan, sql string, para
 		Instances:     instances,
 		PlanCacheHit:  instances > 1,
 	}
+	if s.e.MVCCEnabled() {
+		// Snapshot probes (Snapshot_Age, and the version-store counters)
+		// are NULL when the engine runs without MVCC, so the zero values
+		// stay zero in that mode.
+		qi.SnapshotTS = t.SnapshotTS()
+		qi.SnapshotAt = t.SnapshotAt()
+		qi.MVCC = s.e.MVCCStats()
+	}
 	s.e.registerQuery(qi)
 	s.cur.Store(qi)
 	stopWatch := s.watchCancel(ctx, qi, t)
@@ -439,18 +448,30 @@ func (s *Session) runQuery(ctx context.Context, cp *cachedPlan, sql string, para
 	return res, nil
 }
 
-// executeBody acquires locks and runs the statement.
+// executeBody acquires locks and runs the statement. SELECTs on an MVCC
+// engine read a transaction-consistent snapshot through the version chains
+// and never touch the lock manager — readers cannot block, be blocked, or
+// deadlock, so they produce no Blocker/Blocked events. Writes still take
+// exclusive table locks (strict 2PL), keeping write-write blocking and
+// deadlock behavior identical to the pre-MVCC engine.
 func (s *Session) executeBody(cp *cachedPlan, qi *QueryInfo, t *txn.Txn, params map[string]sqltypes.Value) (*Result, error) {
-	mode := lock.Shared
-	if cp.qtype != QuerySelect {
-		mode = lock.Exclusive
-	}
-	for _, table := range tablesOf(cp.logical) {
-		if err := s.e.locks.Acquire(t.ID, lock.TableResource(table), mode); err != nil {
-			return nil, err
+	snapRead := cp.qtype == QuerySelect && s.e.MVCCEnabled()
+	if !snapRead {
+		mode := lock.Shared
+		if cp.qtype != QuerySelect {
+			mode = lock.Exclusive
+		}
+		for _, table := range tablesOf(cp.logical) {
+			if err := s.e.locks.Acquire(t.ID, lock.TableResource(table), mode); err != nil {
+				return nil, err
+			}
 		}
 	}
 	ctx := &exec.Ctx{Txn: t, Params: params}
+	if snapRead {
+		ctx.Snap = &storage.Snapshot{TS: t.SnapshotTS(), Self: int64(t.ID)}
+		defer func() { qi.NoteMaxChain(ctx.MaxChain) }()
+	}
 	switch p := cp.physical.(type) {
 	case *plan.PhysInsert:
 		n, err := exec.ExecInsert(ctx, s.e.reg, p, s.e.cat)

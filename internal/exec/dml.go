@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sqlcm/internal/catalog"
+	"sqlcm/internal/index"
 	"sqlcm/internal/plan"
 	"sqlcm/internal/sqltypes"
 	"sqlcm/internal/storage"
@@ -96,7 +97,7 @@ func InsertRow(ctx *Ctx, ts *TableStore, row Row, cat *catalog.Catalog) error {
 		if bt == nil {
 			continue
 		}
-		if err := bt.Insert(ts.IndexKey(ix, row), rid); err != nil {
+		if err := insertEntry(ts, bt, ts.IndexKey(ix, row), rid); err != nil {
 			for _, u := range done {
 				ts.Indexes[u.Name].Delete(ts.IndexKey(u, row), rid)
 			}
@@ -107,12 +108,28 @@ func InsertRow(ctx *Ctx, ts *TableStore, row Row, cat *catalog.Catalog) error {
 		}
 		done = append(done, ix)
 	}
+	if ts.Vers != nil {
+		// The chain makes the row readable: install it last so no reader
+		// resolves the row before its entries exist. Uncommitted inserts
+		// are invisible to every other snapshot until the commit stamp.
+		if ctx.Txn != nil {
+			v := ts.Vers.Install(rid, rec, int64(ctx.Txn.ID), false)
+			ctx.Txn.OnCommit(v.SetCommit)
+		} else {
+			ts.Vers.Install(rid, rec, 0, true)
+		}
+	}
 	if cat != nil {
 		cat.AddRows(meta.Name, 1)
 	}
 	if ctx.Txn != nil {
 		rowCopy := row.Clone()
 		ctx.Txn.OnRollback(func() error {
+			heapRid := rid
+			if ts.Vers != nil {
+				heapRid = ts.Vers.CurrentRID(rid)
+				ts.Vers.Discard(rid)
+			}
 			for _, ix := range meta.Indexes {
 				if bt := ts.Indexes[ix.Name]; bt != nil {
 					bt.Delete(ts.IndexKey(ix, rowCopy), rid)
@@ -121,10 +138,28 @@ func InsertRow(ctx *Ctx, ts *TableStore, row Row, cat *catalog.Catalog) error {
 			if cat != nil {
 				cat.AddRows(meta.Name, -1)
 			}
-			return ts.Heap.Delete(rid)
+			return ts.Heap.Delete(heapRid)
 		})
 	}
 	return nil
+}
+
+// insertEntry adds entry (key → rid). On a unique violation against a
+// versioned table it reclaims the conflicting entry when that entry's row
+// is dead (deleted but retained for older snapshots) and retries once —
+// the dead row then ceases to be findable through this index, a documented
+// limitation of deferred index cleanup.
+func insertEntry(ts *TableStore, bt *index.BTree, key []byte, rid storage.RID) error {
+	err := bt.Insert(key, rid)
+	if err == nil || ts.Vers == nil {
+		return err
+	}
+	ex, ok := bt.Get(key)
+	if !ok || !ts.Vers.Dead(ex) {
+		return err
+	}
+	bt.Delete(key, ex)
+	return bt.Insert(key, rid)
 }
 
 // targetRow is a row located for update/delete.
@@ -149,11 +184,7 @@ func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, s
 	}
 	ncols := len(ts.Meta.Columns)
 	var out []targetRow
-	appendIfMatch := func(rid storage.RID, rec []byte) error {
-		row, err := DecodeRow(rec, ncols)
-		if err != nil {
-			return err
-		}
+	matchRow := func(rid storage.RID, row Row) error {
 		ctx.RowsExamined++
 		if residual != nil {
 			ok, err := EvalBool(residual, row, ctx.Params)
@@ -167,8 +198,28 @@ func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, s
 		out = append(out, targetRow{rid: rid, row: row})
 		return nil
 	}
+	appendIfMatch := func(rid storage.RID, rec []byte) error {
+		row, err := DecodeRow(rec, ncols)
+		if err != nil {
+			return err
+		}
+		return matchRow(rid, row)
+	}
 
 	if access.Index == nil {
+		if ts.Vers != nil {
+			// Versioned table: the chains are the authoritative current
+			// state (the heap still holds deleted-but-unpruned rows).
+			for _, cr := range ts.Vers.CurrentScan() {
+				if err := ctx.checkCancel(); err != nil {
+					return nil, err
+				}
+				if err := appendIfMatch(cr.Rid, cr.Rec); err != nil {
+					return nil, err
+				}
+			}
+			return out, nil
+		}
 		var innerErr error
 		err := ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
 			if err := ctx.checkCancel(); err != nil {
@@ -234,20 +285,46 @@ func collectTargetsWithRIDs(ctx *Ctx, ts *TableStore, access *plan.AccessPath, s
 		hi = prefixSuccessor(prefix)
 		hiIncl = false
 	}
-	var rids []storage.RID
+	type entryRef struct {
+		key []byte
+		rid storage.RID
+	}
+	var entries []entryRef
 	bt.ScanRange(lo, hi, loIncl, hiIncl, func(k []byte, rid storage.RID) bool {
-		rids = append(rids, rid)
+		entries = append(entries, entryRef{key: append([]byte(nil), k...), rid: rid})
 		return true
 	})
-	for _, rid := range rids {
+	for _, e := range entries {
 		if err := ctx.checkCancel(); err != nil {
 			return nil, err
 		}
-		rec, err := ts.Heap.Get(rid)
+		if ts.Vers != nil {
+			curRid, rec, ok := ts.Vers.CurrentAt(e.rid)
+			if !ok {
+				continue // row deleted; entry retained for older snapshots
+			}
+			row, err := DecodeRow(rec, ncols)
+			if err != nil {
+				return nil, err
+			}
+			// Stale-entry recheck: entries survive key changes until the
+			// garbage collector passes; the row's current key must still
+			// match this entry (the current key's own entry finds it
+			// otherwise), and the recheck also keeps RowsExamined counts
+			// identical to eager index maintenance.
+			if !bytes.Equal(ts.IndexKey(access.Index, row), e.key) {
+				continue
+			}
+			if err := matchRow(curRid, row); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		rec, err := ts.Heap.Get(e.rid)
 		if err != nil {
 			continue // deleted concurrently within our txn's view
 		}
-		if err := appendIfMatch(rid, rec); err != nil {
+		if err := appendIfMatch(e.rid, rec); err != nil {
 			return nil, err
 		}
 	}
@@ -309,9 +386,126 @@ func ExecUpdate(ctx *Ctx, sp StoreProvider, p *plan.PhysUpdate, cat *catalog.Cat
 	return n, nil
 }
 
+// ixDelta records the index work one versioned update applied for one
+// index, so unique-violation unwind and transaction rollback revert it
+// exactly.
+type ixDelta struct {
+	ix       *catalog.Index
+	oldKey   []byte
+	newKey   []byte
+	inserted bool // a fresh entry (newKey, anchor) went into the index
+	// canceled, when non-nil, is the deferred removal canceled because
+	// newKey returned to the row (its entry was still physically present).
+	canceled *storage.Pending
+}
+
+// revertIndexDeltas undoes deltas in reverse: drops the deferred oldKey
+// removals this update registered, removes entries it inserted, and
+// re-registers removals it canceled.
+func revertIndexDeltas(ts *TableStore, rid, anchor storage.RID, deltas []ixDelta) {
+	for i := len(deltas) - 1; i >= 0; i-- {
+		d := deltas[i]
+		ts.Vers.TakePending(rid, d.ix.Name, d.oldKey)
+		if d.inserted {
+			if bt := ts.Indexes[d.ix.Name]; bt != nil {
+				bt.Delete(d.newKey, anchor)
+			}
+		}
+		if d.canceled != nil {
+			ts.Vers.RestorePending(rid, *d.canceled)
+		}
+	}
+}
+
+// updateRowMVCC is the versioned-update path: push a new version (readers
+// resolve through the chain), mirror the current image into the heap, and
+// maintain indexes rid-stably — equal keys need no entry work even across
+// relocation, changed keys insert the new entry and defer removal of the
+// old one to the garbage collector so older snapshots keep finding the row
+// under its old key.
+func updateRowMVCC(ctx *Ctx, ts *TableStore, rid storage.RID, oldRow, newRow Row, recordUndo bool) (storage.RID, error) {
+	newRec := EncodeRow(newRow)
+	var txnID int64
+	if ctx.Txn != nil {
+		txnID = int64(ctx.Txn.ID)
+	}
+	v := ts.Vers.Push(rid, newRec, txnID)
+	if ctx.Txn != nil {
+		ctx.Txn.OnCommit(v.SetCommit)
+	} else {
+		v.SetCommit(storage.BaseCommitTS)
+	}
+	newRid, err := ts.Heap.Update(rid, newRec)
+	if err != nil {
+		ts.Vers.Pop(rid)
+		return rid, err
+	}
+	if newRid != rid {
+		ts.Vers.Relocate(rid, newRid)
+	}
+	anchor := ts.Vers.Anchor(newRid)
+
+	var deltas []ixDelta
+	for _, ix := range ts.Meta.Indexes {
+		bt := ts.Indexes[ix.Name]
+		if bt == nil {
+			continue
+		}
+		oldKey := ts.IndexKey(ix, oldRow)
+		newKey := ts.IndexKey(ix, newRow)
+		if bytes.Equal(oldKey, newKey) {
+			continue
+		}
+		d := ixDelta{ix: ix, oldKey: oldKey, newKey: newKey}
+		if p, ok := ts.Vers.TakePending(newRid, ix.Name, newKey); ok {
+			d.canceled = &p
+		} else if err := insertEntry(ts, bt, newKey, anchor); err != nil {
+			// Unique violation: revert the completed index work, pop the
+			// version, and restore the heap image; the caller aborts the
+			// transaction.
+			revertIndexDeltas(ts, newRid, anchor, deltas)
+			ts.Vers.Pop(newRid)
+			restored, rerr := ts.Heap.Update(newRid, EncodeRow(oldRow))
+			if rerr != nil {
+				return rid, fmt.Errorf("exec: unwind failed (%v) after: %w", rerr, err)
+			}
+			if restored != newRid {
+				ts.Vers.Relocate(newRid, restored)
+			}
+			return rid, fmt.Errorf("exec: %s on %q: %w", ix.Name, ts.Meta.Name, err)
+		} else {
+			d.inserted = true
+		}
+		ts.Vers.AddPending(newRid, ix.Name, oldKey, anchor, v)
+		deltas = append(deltas, d)
+	}
+	if recordUndo && ctx.Txn != nil {
+		oldCopy := oldRow.Clone()
+		finalRid := newRid
+		ds := deltas
+		ctx.Txn.OnRollback(func() error {
+			cur := ts.Vers.CurrentRID(finalRid)
+			revertIndexDeltas(ts, cur, anchor, ds)
+			ts.Vers.Pop(cur)
+			restored, err := ts.Heap.Update(cur, EncodeRow(oldCopy))
+			if err != nil {
+				return err
+			}
+			if restored != cur {
+				ts.Vers.Relocate(cur, restored)
+			}
+			return nil
+		})
+	}
+	return newRid, nil
+}
+
 // updateRow replaces oldRow (at rid) with newRow, fixing indexes and
 // optionally recording undo. Returns the row's new RID.
 func updateRow(ctx *Ctx, ts *TableStore, rid storage.RID, oldRow, newRow Row, cat *catalog.Catalog, recordUndo bool) (storage.RID, error) {
+	if ts.Vers != nil {
+		return updateRowMVCC(ctx, ts, rid, oldRow, newRow, recordUndo)
+	}
 	newRid, err := ts.Heap.Update(rid, EncodeRow(newRow))
 	if err != nil {
 		return rid, err
@@ -379,8 +573,52 @@ func ExecDelete(ctx *Ctx, sp StoreProvider, p *plan.PhysDelete, cat *catalog.Cat
 	return n, nil
 }
 
-// DeleteRow removes one row, maintaining indexes, statistics and undo.
+// DeleteRow removes one row, maintaining indexes, statistics and undo. On
+// a versioned table the delete is logical: a tombstone version goes onto
+// the chain, the heap record and index entries stay for older snapshots,
+// and every index entry is registered for deferred removal once the
+// tombstone's commit passes the version-garbage watermark.
 func DeleteRow(ctx *Ctx, ts *TableStore, rid storage.RID, row Row, cat *catalog.Catalog) error {
+	if ts.Vers != nil {
+		var txnID int64
+		if ctx.Txn != nil {
+			txnID = int64(ctx.Txn.ID)
+		}
+		v := ts.Vers.Tombstone(rid, txnID)
+		if ctx.Txn != nil {
+			ctx.Txn.OnCommit(v.SetCommit)
+		} else {
+			v.SetCommit(storage.BaseCommitTS)
+		}
+		anchor := ts.Vers.Anchor(rid)
+		for _, ix := range ts.Meta.Indexes {
+			if ts.Indexes[ix.Name] == nil {
+				continue
+			}
+			ts.Vers.AddPending(rid, ix.Name, ts.IndexKey(ix, row), anchor, v)
+		}
+		if cat != nil {
+			cat.AddRows(ts.Meta.Name, -1)
+		}
+		if ctx.Txn != nil {
+			rowCopy := row.Clone()
+			ctx.Txn.OnRollback(func() error {
+				cur := ts.Vers.CurrentRID(rid)
+				for _, ix := range ts.Meta.Indexes {
+					if ts.Indexes[ix.Name] == nil {
+						continue
+					}
+					ts.Vers.TakePending(cur, ix.Name, ts.IndexKey(ix, rowCopy))
+				}
+				ts.Vers.Pop(cur)
+				if cat != nil {
+					cat.AddRows(ts.Meta.Name, 1)
+				}
+				return nil
+			})
+		}
+		return nil
+	}
 	if err := ts.Heap.Delete(rid); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"sort"
@@ -16,9 +17,33 @@ type Ctx struct {
 	Txn    *txn.Txn
 	Params map[string]sqltypes.Value
 
+	// Snap, when non-nil, makes scans of versioned tables resolve rows
+	// through their version chains at this snapshot instead of reading
+	// the heap — the MVCC read path, which takes no table locks.
+	Snap *storage.Snapshot
+
 	// RowsExamined counts base-table rows touched (a probe source for the
 	// monitor).
 	RowsExamined int64
+	// MaxChain tracks the longest version-chain walk the statement
+	// performed (the Version_Chain_Length probe).
+	MaxChain int
+}
+
+// noteDepth records a version-chain walk length.
+func (c *Ctx) noteDepth(d int) {
+	if d > c.MaxChain {
+		c.MaxChain = d
+	}
+}
+
+// snapFor returns the snapshot to resolve ts through, or nil for the
+// legacy heap path (non-versioned table or current-mode execution).
+func (c *Ctx) snapFor(ts *TableStore) *storage.Snapshot {
+	if c.Snap != nil && ts.Vers != nil {
+		return c.Snap
+	}
+	return nil
 }
 
 // checkCancel polls the transaction's cancellation flag.
@@ -149,9 +174,15 @@ type scanOp struct {
 	buf     []Row // rows from the current page
 	bufIdx  int
 
+	// snapshot sequential state (versioned tables): rows materialized
+	// from the chains at Open
+	snapRows []storage.ChainRow
+	snapIdx  int
+
 	// index state
 	useIndex bool
 	rids     []storage.RID
+	keys     [][]byte // entry keys parallel to rids (snapshot recheck)
 	ridIdx   int
 }
 
@@ -192,9 +223,13 @@ func newScanOp(ts *TableStore, access *plan.AccessPath, schema []plan.ColMeta) (
 }
 
 func (s *scanOp) Open(ctx *Ctx) error {
-	s.bufIdx, s.pageIdx, s.ridIdx = 0, 0, 0
-	s.buf, s.rids = nil, nil
+	s.bufIdx, s.pageIdx, s.ridIdx, s.snapIdx = 0, 0, 0, 0
+	s.buf, s.rids, s.keys, s.snapRows = nil, nil, nil, nil
 	if !s.useIndex {
+		if snap := ctx.snapFor(s.store); snap != nil {
+			s.snapRows = s.store.Vers.SnapScan(*snap)
+			return nil
+		}
 		s.pages = s.store.Heap.PageIDs()
 		return nil
 	}
@@ -247,8 +282,12 @@ func (s *scanOp) Open(ctx *Ctx) error {
 		hi = prefixSuccessor(prefix)
 		hiIncl = false
 	}
+	snapScan := ctx.snapFor(s.store) != nil
 	bt.ScanRange(lo, hi, loIncl, hiIncl, func(k []byte, rid storage.RID) bool {
 		s.rids = append(s.rids, rid)
+		if snapScan {
+			s.keys = append(s.keys, append([]byte(nil), k...))
+		}
 		return true
 	})
 	return nil
@@ -270,21 +309,68 @@ func prefixSuccessor(prefix []byte) []byte {
 //sqlcm:cancellable
 func (s *scanOp) Next(ctx *Ctx) (Row, error) {
 	ncols := len(s.store.Meta.Columns)
+	snap := ctx.snapFor(s.store)
 	if s.useIndex {
 		for s.ridIdx < len(s.rids) {
 			if err := ctx.checkCancel(); err != nil {
 				return nil, err
 			}
 			rid := s.rids[s.ridIdx]
+			i := s.ridIdx
 			s.ridIdx++
-			rec, err := s.store.Heap.Get(rid)
-			if err != nil {
-				// The row may have been deleted between index scan and
-				// fetch within our own transaction (no cursor stability
-				// needed); skip.
-				continue
+			var rec []byte
+			if snap != nil {
+				r, depth, ok := s.store.Vers.ReadAt(rid, *snap)
+				ctx.noteDepth(depth)
+				if !ok {
+					// Invisible to the snapshot (uncommitted, newer, or
+					// deleted); skip.
+					continue
+				}
+				rec = r
+			} else {
+				r, err := s.store.Heap.Get(rid)
+				if err != nil {
+					// The row may have been deleted between index scan and
+					// fetch within our own transaction (no cursor stability
+					// needed); skip.
+					continue
+				}
+				rec = r
 			}
 			row, err := DecodeRow(rec, ncols)
+			if err != nil {
+				return nil, err
+			}
+			if snap != nil && !bytes.Equal(s.store.IndexKey(s.access.Index, row), s.keys[i]) {
+				// Stale entry: the visible version carries a different key
+				// (deferred index cleanup); the matching key's own entry
+				// locates this row if it qualifies.
+				continue
+			}
+			ctx.RowsExamined++
+			if s.residual != nil {
+				ok, err := EvalBool(s.residual, row, ctx.Params)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			return row, nil
+		}
+		return nil, nil
+	}
+	if snap != nil {
+		for s.snapIdx < len(s.snapRows) {
+			if err := ctx.checkCancel(); err != nil {
+				return nil, err
+			}
+			cr := s.snapRows[s.snapIdx]
+			s.snapIdx++
+			ctx.noteDepth(cr.Depth)
+			row, err := DecodeRow(cr.Rec, ncols)
 			if err != nil {
 				return nil, err
 			}
@@ -717,16 +803,32 @@ func (j *indexNLJoinOp) Next(ctx *Ctx) (Row, error) {
 		}
 		j.matches = j.matches[:0]
 		j.matchIdx = 0
+		snap := ctx.snapFor(j.store)
+		ixMeta := j.store.Meta.IndexByName(j.ix)
 		var innerErr error
 		bt.ScanRange(lo, hi, loIncl, hiIncl, func(k []byte, rid storage.RID) bool {
-			rec, err := j.store.Heap.Get(rid)
-			if err != nil {
-				return true // row vanished; skip
+			var rec []byte
+			if snap != nil {
+				r, depth, ok := j.store.Vers.ReadAt(rid, *snap)
+				ctx.noteDepth(depth)
+				if !ok {
+					return true // invisible to the snapshot; skip
+				}
+				rec = r
+			} else {
+				r, err := j.store.Heap.Get(rid)
+				if err != nil {
+					return true // row vanished; skip
+				}
+				rec = r
 			}
 			inner, err := DecodeRow(rec, j.ncols)
 			if err != nil {
 				innerErr = err
 				return false
+			}
+			if snap != nil && !bytes.Equal(j.store.IndexKey(ixMeta, inner), k) {
+				return true // stale entry awaiting deferred cleanup; skip
 			}
 			ctx.RowsExamined++
 			j.matches = append(j.matches, inner)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -16,6 +17,12 @@ type TableStore struct {
 	Meta    *catalog.Table
 	Heap    *storage.HeapFile
 	Indexes map[string]*index.BTree // keyed by index name
+
+	// Vers, when non-nil, makes the table multi-versioned: chains are the
+	// authoritative read path (snapshot and current mode), the heap
+	// mirrors the current row images, and physical deletes are deferred
+	// to the version-garbage collector. Nil for legacy (2PL-read) tables.
+	Vers *storage.VersionStore
 }
 
 // NewTableStore creates storage for a table, including B+trees for every
@@ -55,21 +62,33 @@ func (ts *TableStore) AddIndex(ix *catalog.Index) error {
 		rid storage.RID
 	}
 	var entries []entry
-	var buildErr error
-	err := ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
-		row, err := DecodeRow(rec, ncols)
-		if err != nil {
-			buildErr = err
-			return false
+	if ts.Vers != nil {
+		// Versioned table: the chains are authoritative (the heap still
+		// holds deleted-but-unpruned rows). Entries carry anchor RIDs.
+		for _, cr := range ts.Vers.CurrentScan() {
+			row, err := DecodeRow(cr.Rec, ncols)
+			if err != nil {
+				return err
+			}
+			entries = append(entries, entry{key: ts.IndexKey(ix, row), rid: cr.Anchor})
 		}
-		entries = append(entries, entry{key: ts.IndexKey(ix, row), rid: rid})
-		return true
-	})
-	if err != nil {
-		return err
-	}
-	if buildErr != nil {
-		return buildErr
+	} else {
+		var buildErr error
+		err := ts.Heap.Scan(func(rid storage.RID, rec []byte) bool {
+			row, err := DecodeRow(rec, ncols)
+			if err != nil {
+				buildErr = err
+				return false
+			}
+			entries = append(entries, entry{key: ts.IndexKey(ix, row), rid: rid})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if buildErr != nil {
+			return buildErr
+		}
 	}
 	for _, e := range entries {
 		if err := bt.Insert(e.key, e.rid); err != nil {
@@ -78,6 +97,26 @@ func (ts *TableStore) AddIndex(ix *catalog.Index) error {
 	}
 	ts.Indexes[ix.Name] = bt
 	return nil
+}
+
+// PruneVersions runs one version-garbage-collection pass at the given
+// watermark and applies the physical cleanup: stale index entries whose
+// superseding commits every snapshot has passed, and heap slots of rows
+// deleted before the watermark. The caller must hold the table's exclusive
+// lock (Prune itself only takes the version store's leaf latch).
+func (ts *TableStore) PruneVersions(watermark int64) {
+	if ts.Vers == nil {
+		return
+	}
+	work := ts.Vers.Prune(watermark)
+	for _, p := range work.Entries {
+		if bt := ts.Indexes[p.Index]; bt != nil {
+			bt.Delete(p.Key, p.Rid)
+		}
+	}
+	for _, rid := range work.HeapRIDs {
+		_ = ts.Heap.Delete(rid) // slot already reclaimed is fine
+	}
 }
 
 // StoreProvider resolves table names to their stores.
@@ -108,6 +147,20 @@ func (r *Registry) Store(table string) (*TableStore, error) {
 		return nil, fmt.Errorf("exec: no storage for table %q", table)
 	}
 	return ts, nil
+}
+
+// Names returns the registered table names in sorted order (the
+// version-garbage collector iterates tables in deterministic order, which
+// also matches the statement-level lock ordering).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.stores))
+	for name := range r.stores {
+		out = append(out, name)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
 }
 
 // Register installs a table store.

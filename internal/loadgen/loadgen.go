@@ -44,6 +44,11 @@ type Config struct {
 	Duration time.Duration
 	// Profile biases the statement mix (sim.ProfileOLTP/Blocker/Timer).
 	Profile sim.Profile
+	// Mix overrides the profile's statement thresholds when non-nil: the
+	// cumulative percentage cut-points for sel_l / sel_o / upd_l (the
+	// remainder is upd_o). A read-mostly run passes e.g.
+	// &[6]int{85, 95, 99, 100, 100, 100} for 95% reads.
+	Mix *[6]int
 	// Keys is the lineitem key-space size the generator draws from
 	// (default 1000; must not exceed the loaded row count).
 	Keys int
@@ -310,6 +315,10 @@ func (wk *worker) pick() (name string, values []sqltypes.Value) {
 func Run(cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()
 
+	weights := cfg.Profile.Weights()
+	if cfg.Mix != nil {
+		weights = *cfg.Mix
+	}
 	workers := make([]*worker, cfg.Conns)
 	for i := range workers {
 		r := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -317,7 +326,7 @@ func Run(cfg Config) (Result, error) {
 			r:    r,
 			lkey: workload.Zipf(r, cfg.Skew, cfg.Keys),
 			okey: workload.Zipf(r, cfg.Skew, cfg.OrderKeys),
-			w:    cfg.Profile.Weights(),
+			w:    weights,
 		}
 	}
 	var dialWG sync.WaitGroup

@@ -374,6 +374,24 @@ func (q *QueryObject) Get(attr string) (sqltypes.Value, bool) {
 			return sqltypes.NewString(r.String()), true
 		}
 		return sqltypes.Null, true
+	case "Snapshot_Age":
+		// NULL when the engine runs without MVCC (no snapshot taken).
+		if info.SnapshotAt.IsZero() {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewFloat(now().Sub(info.SnapshotAt).Seconds()), true
+	case "Version_Chain_Length":
+		return sqltypes.NewInt(info.MaxChain()), true
+	case "Versions_Pruned":
+		if info.MVCC == nil {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewInt(info.MVCC.Pruned.Load()), true
+	case "Versions_Retained":
+		if info.MVCC == nil {
+			return sqltypes.Null, true
+		}
+		return sqltypes.NewInt(info.MVCC.Retained.Load()), true
 	default:
 		return sqltypes.Null, false
 	}

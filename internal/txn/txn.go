@@ -48,13 +48,20 @@ type Txn struct {
 	ID    lock.TxnID
 	Start time.Time
 
-	// mu protects state and the undo log. cancelled is atomic; implicit
-	// is immutable after Begin.
+	// snapTS/snapAt fix the transaction's MVCC snapshot: the highest
+	// commit timestamp it observes, taken at Begin (repeatable read).
+	// Immutable after Begin.
+	snapTS int64
+	snapAt time.Time
+
+	// mu protects state, the undo log, and the commit-stamp list.
+	// cancelled is atomic; implicit is immutable after Begin.
 	//sqlcm:lock txn.txn
-	//sqlcm:guards state, undo
+	//sqlcm:guards state, undo, stamps
 	mu        lockcheck.Mutex
 	state     State
 	undo      []func() error
+	stamps    []func(commitTS int64)
 	cancelled atomic.Bool
 	implicit  bool // autocommit transaction created for a single statement
 }
@@ -62,6 +69,23 @@ type Txn struct {
 // Implicit reports whether the transaction was opened implicitly
 // (autocommit) rather than by an explicit BEGIN.
 func (t *Txn) Implicit() bool { return t.implicit }
+
+// SnapshotTS returns the commit timestamp horizon of the transaction's
+// read snapshot.
+func (t *Txn) SnapshotTS() int64 { return t.snapTS }
+
+// SnapshotAt returns the wall-clock time the snapshot was taken (the
+// Snapshot_Age probe).
+func (t *Txn) SnapshotAt() time.Time { return t.snapAt }
+
+// OnCommit registers a stamp action run inside the commit critical
+// section with the transaction's commit timestamp — version stamping. The
+// actions must not block or take locks.
+func (t *Txn) OnCommit(fn func(commitTS int64)) {
+	t.mu.Lock()
+	t.stamps = append(t.stamps, fn)
+	t.mu.Unlock()
+}
 
 // State returns the current lifecycle state.
 func (t *Txn) State() State {
@@ -100,6 +124,22 @@ type Manager struct {
 	locks *lock.Manager
 	seq   atomic.Int64
 
+	// lastCommit is the commit-timestamp oracle: the highest timestamp
+	// any committed writer has published. Snapshots load it lock-free.
+	lastCommit atomic.Int64
+
+	// postCommit, when set (engine wiring, before transactions run),
+	// observes every writer commit — the version-garbage collector's
+	// trigger. Immutable after SetPostCommit.
+	postCommit func(commitTS int64)
+
+	// commitMu serializes writer commits: allocate the next timestamp,
+	// stamp the transaction's versions, then publish the timestamp. The
+	// stamp actions touch only atomics, so the class is a leaf.
+	//sqlcm:lock txn.commit
+	//sqlcm:guards none
+	commitMu lockcheck.Mutex
+
 	// mu protects the active-transaction map.
 	//sqlcm:lock txn.active
 	//sqlcm:guards active
@@ -111,7 +151,31 @@ type Manager struct {
 func NewManager(locks *lock.Manager) *Manager {
 	m := &Manager{locks: locks, active: make(map[lock.TxnID]*Txn)}
 	m.mu.SetClass("txn.active")
+	m.commitMu.SetClass("txn.commit")
 	return m
+}
+
+// SetPostCommit installs the writer-commit observer. Must be called
+// before any transaction begins.
+func (m *Manager) SetPostCommit(fn func(commitTS int64)) { m.postCommit = fn }
+
+// LastCommit returns the newest published commit timestamp.
+func (m *Manager) LastCommit() int64 { return m.lastCommit.Load() }
+
+// Watermark returns the version-garbage horizon: the oldest snapshot any
+// in-flight transaction holds (or the newest commit timestamp when the
+// system is idle). Versions superseded at or before the watermark are
+// invisible to every live and future snapshot.
+func (m *Manager) Watermark() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	wm := m.lastCommit.Load()
+	for _, t := range m.active {
+		if t.snapTS < wm {
+			wm = t.snapTS
+		}
+	}
+	return wm
 }
 
 // Locks exposes the lock manager.
@@ -126,8 +190,13 @@ func (m *Manager) Begin(implicit bool) *Txn {
 		implicit: implicit,
 	}
 	t.mu.SetClass("txn.txn")
+	// Register before reading the snapshot horizon: once the transaction
+	// is visible to Watermark, the horizon can never pass the snapshot it
+	// is about to take, so pruning cannot steal versions it must see.
 	m.mu.Lock()
 	m.active[t.ID] = t
+	t.snapTS = m.lastCommit.Load()
+	t.snapAt = time.Now()
 	m.mu.Unlock()
 	return t
 }
@@ -142,8 +211,28 @@ func (m *Manager) Commit(t *Txn) error {
 	}
 	t.state = Committed
 	t.undo = nil
+	stamps := t.stamps
+	t.stamps = nil
 	t.mu.Unlock()
+
+	// Writer commit: allocate the next timestamp, stamp every version the
+	// transaction wrote, then publish the timestamp — all before locks
+	// release, so the next writer (and every later snapshot) sees the
+	// stamped versions. Read-only commits skip the oracle entirely.
+	var committed int64
+	if len(stamps) > 0 {
+		m.commitMu.Lock()
+		committed = m.lastCommit.Load() + 1
+		for _, fn := range stamps {
+			fn(committed)
+		}
+		m.lastCommit.Store(committed)
+		m.commitMu.Unlock()
+	}
 	m.finish(t)
+	if committed != 0 && m.postCommit != nil {
+		m.postCommit(committed)
+	}
 	return nil
 }
 
@@ -160,6 +249,7 @@ func (m *Manager) Rollback(t *Txn) error {
 	t.state = Aborted
 	undo := t.undo
 	t.undo = nil
+	t.stamps = nil
 	t.mu.Unlock()
 
 	var firstErr error

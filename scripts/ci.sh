@@ -43,6 +43,11 @@ go test -tags sqlcmlockdep -race -count=1 ./internal/faults/ ./internal/outbox/
 # statement errors, and a clean graceful drain (see internal/loadgen).
 go test -race -count=1 -run TestServeSmoke ./internal/loadgen/
 
+# MVCC smoke tier: read-mostly Zipf load with monitoring on — a reader
+# fleet plus one hot writer — under -race. Gates on zero statement errors
+# and on snapshot readers never surfacing as Query.Blocked events.
+go test -race -count=1 -run TestMVCCSmoke ./internal/loadgen/
+
 # Netchaos tier: the same harness through the fault-injecting listener
 # (internal/faults/netfaults), 30% toxic connections — latency, bandwidth
 # caps, partial writes, slow-loris reads, mid-frame resets, blackholes —
@@ -57,6 +62,13 @@ go test -race -count=1 -run TestNetChaos ./internal/loadgen/
 # golden trace replays (pinned run fingerprints) and the acceptance check
 # that an injected aggregate fault is caught and shrunk to a tiny witness.
 SQLCM_SIM_SEEDS=64 go test -count=1 ./internal/sim/
+
+# MVCC tier: the differential visibility oracle over a 64-seed sweep, the
+# golden traces replayed on the MVCC build (fingerprints pinned
+# bit-identical), and the single-session lock-schedule invariance check
+# (identical statement results, rule journal and LAT contents with MVCC
+# on vs off).
+SQLCM_SIM_SEEDS=64 go test -count=1 -run 'TestMVCCVisibilitySweep|TestGoldenReplayMVCC|TestSingleSessionMVCCInvariance' ./internal/sim/
 
 # Coverage floors: internal/lat and internal/rules may not drop below the
 # percentages recorded when the differential oracle was introduced.
